@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lamb"
+	"lamb/internal/report"
+)
+
+// cmdEnumerate prints an expression's algorithm set with FLOP counts —
+// the content of the paper's Figures 3 and 5 — for a concrete instance.
+func cmdEnumerate(args []string) error {
+	fs := flag.NewFlagSet("enumerate", flag.ExitOnError)
+	c := registerCommon(fs)
+	instFlag := fs.String("inst", "", "instance sizes, e.g. 100,200,300 (default: paper example)")
+	terms := fs.Int("terms", 0, "general chain with this many terms (overrides -expr)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var e lamb.Expression
+	var def lamb.Instance
+	if *terms > 0 {
+		e = lamb.NewChain(*terms)
+		def = make(lamb.Instance, *terms+1)
+		for i := range def {
+			def[i] = 100 + 50*i
+		}
+	} else {
+		var err error
+		e, err = c.expression()
+		if err != nil {
+			return err
+		}
+		if c.exprName == "chain" {
+			def = lamb.Instance{331, 279, 338, 854, 427}
+		} else {
+			def = lamb.Instance{227, 260, 549}
+		}
+	}
+	inst := def
+	if *instFlag != "" {
+		var err error
+		inst, err = parseInstance(*instFlag, e.Arity())
+		if err != nil {
+			return err
+		}
+	}
+
+	algs := e.Algorithms(inst)
+	fmt.Printf("%s instance %v: %d mathematically equivalent algorithms\n\n", e.Name(), inst, len(algs))
+	rows := [][]string{{"#", "algorithm", "kernels", "FLOPs"}}
+	for _, a := range algs {
+		kinds := ""
+		for i, call := range a.Calls {
+			if i > 0 {
+				kinds += "+"
+			}
+			kinds += call.Kind.String()
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(a.Index), a.Name, kinds, fmt.Sprintf("%.0f", a.Flops()),
+		})
+	}
+	if err := report.Table(os.Stdout, rows); err != nil {
+		return err
+	}
+
+	if ch, ok := e.(lamb.Chain); ok {
+		dp, tree := lamb.MinFlopsParenthesisation([]int(inst))
+		fmt.Printf("\nDP minimum-FLOPs parenthesisation: %s with %.0f FLOPs (%d algorithms total)\n",
+			tree, dp, ch.NumAlgorithms())
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lamb"
+	"lamb/internal/report"
+)
+
+// cmdFigure1 reproduces the paper's Figure 1: the efficiency of GEMM,
+// SYRK, and SYMM on square operands as size grows.
+func cmdFigure1(args []string) error {
+	fs := flag.NewFlagSet("figure1", flag.ExitOnError)
+	c := registerCommon(fs)
+	maxSize := fs.Int("max", 3000, "largest square size")
+	step := fs.Int("step", 50, "size step")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	timer, err := c.timer()
+	if err != nil {
+		return err
+	}
+	if c.backend == "blas" && *maxSize > 768 && !flagSet(fs, "max") {
+		*maxSize = 512 // keep the measured backend tractable by default
+		*step = 32
+	}
+	var sizes []int
+	for s := *step; s <= *maxSize; s += *step {
+		sizes = append(sizes, s)
+	}
+
+	kinds := []lamb.KernelKind{lamb.GEMM, lamb.SYRK, lamb.SYMM}
+	curves := make([][]lamb.CurvePoint, len(kinds))
+	for i, k := range kinds {
+		curves[i] = lamb.EfficiencyCurve(timer, k, sizes)
+	}
+
+	fmt.Printf("Figure 1 — kernel efficiency vs square size (backend %s)\n\n", c.backend)
+	rows := [][]string{{"size", "gemm", "syrk", "symm"}}
+	csv := [][]string{{"size", "gemm", "syrk", "symm"}}
+	for j, s := range sizes {
+		row := []string{fmt.Sprint(s)}
+		for i := range kinds {
+			row = append(row, fmt.Sprintf("%.3f", curves[i][j].Efficiency))
+		}
+		rows = append(rows, row)
+		csv = append(csv, row)
+	}
+	if err := report.Table(os.Stdout, rows); err != nil {
+		return err
+	}
+	fmt.Println()
+	for i, k := range kinds {
+		ys := make([]float64, len(sizes))
+		for j := range sizes {
+			ys[j] = curves[i][j].Efficiency
+		}
+		if err := report.Line(os.Stdout, sizes, ys, 0, 1, 10, k.String()+" efficiency"); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return c.writeCSV("figure1.csv", csv)
+}
+
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

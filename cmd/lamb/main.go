@@ -1,0 +1,220 @@
+// Command lamb regenerates every table and figure of the paper
+// "FLOPs as a Discriminant for Dense Linear Algebra Algorithms"
+// (ICPP 2022) — see EXPERIMENTS.md for the recorded results.
+//
+// Usage:
+//
+//	lamb <subcommand> [flags]
+//
+// Subcommands:
+//
+//	figure1    kernel efficiency vs size (paper Figure 1)
+//	enumerate  algorithm sets and FLOP counts (Figures 3 and 5)
+//	exp1       random search for anomalies (Figures 6 and 9)
+//	exp2       regions around anomalies (Figures 7, 8, 10, 11)
+//	exp3       prediction from benchmarks (Tables 1 and 2)
+//	select     algorithm-selection strategies (paper §5 conjecture)
+//	all        the full paper pipeline for both of the paper's expressions
+//
+// The lstsq expression (X := (A·Aᵀ+R)⁻¹·A·B) extends the study beyond
+// the paper; run it with `lamb exp1|exp2|exp3 -expr lstsq`.
+//
+// Common flags (accepted by the experiment subcommands):
+//
+//	-expr chain|aatb|lstsq  expression to study (default chain)
+//	-backend sim|blas  simulated machine or measured pure-Go BLAS (default sim)
+//	-scale paper|quick paper-scale or smoke-test configuration (default quick)
+//	-seed N            master seed (default 42)
+//	-reps N            timing repetitions (default 10, the paper's value)
+//	-out DIR           also write raw CSV data into DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"lamb"
+	"lamb/internal/report"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "figure1":
+		err = cmdFigure1(args)
+	case "enumerate":
+		err = cmdEnumerate(args)
+	case "exp1":
+		err = cmdExp1(args)
+	case "exp2":
+		err = cmdExp2(args)
+	case "exp3":
+		err = cmdExp3(args)
+	case "select":
+		err = cmdSelect(args)
+	case "all":
+		err = cmdAll(args)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "lamb: unknown subcommand %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lamb %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lamb <subcommand> [flags]
+
+subcommands:
+  figure1    kernel efficiency vs size (Figure 1)
+  enumerate  algorithm sets and FLOP counts (Figures 3, 5)
+  exp1       random search for anomalies (Figures 6, 9)
+  exp2       regions around anomalies (Figures 7, 8, 10, 11)
+  exp3       prediction from benchmarks (Tables 1, 2)
+  select     algorithm-selection strategies
+  all        full paper pipeline
+
+run 'lamb <subcommand> -h' for flags`)
+}
+
+// commonFlags holds the flags shared by experiment subcommands.
+type commonFlags struct {
+	exprName string
+	backend  string
+	scale    string
+	seed     uint64
+	reps     int
+	workers  int
+	outDir   string
+}
+
+func registerCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.StringVar(&c.exprName, "expr", "chain", "expression: chain, aatb, or lstsq")
+	fs.StringVar(&c.backend, "backend", "sim", "backend: sim (simulated machine) or blas (measured pure-Go BLAS)")
+	fs.StringVar(&c.scale, "scale", "quick", "scale: quick or paper")
+	fs.Uint64Var(&c.seed, "seed", 42, "master seed")
+	fs.IntVar(&c.reps, "reps", 10, "timing repetitions per test")
+	fs.IntVar(&c.workers, "workers", 0, "parallel evaluation workers (sim backend only; 0 = GOMAXPROCS)")
+	fs.StringVar(&c.outDir, "out", "", "directory for raw CSV output (optional)")
+	return c
+}
+
+func (c *commonFlags) expression() (lamb.Expression, error) {
+	switch c.exprName {
+	case "chain":
+		return lamb.ChainABCD(), nil
+	case "aatb":
+		return lamb.AATB(), nil
+	case "lstsq":
+		return lamb.LstSq(), nil
+	default:
+		return nil, fmt.Errorf("unknown expression %q (want chain, aatb, or lstsq)", c.exprName)
+	}
+}
+
+func (c *commonFlags) timer() (*lamb.Timer, error) {
+	var e lamb.Executor
+	switch c.backend {
+	case "sim":
+		e = lamb.NewSimExecutor()
+	case "blas":
+		e = lamb.NewMeasuredExecutor()
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want sim or blas)", c.backend)
+	}
+	t := lamb.NewTimer(e)
+	t.Reps = c.reps
+	return t, nil
+}
+
+// box returns the search space: the paper's box on the sim backend, a
+// small box on the measured backend (pure-Go kernels at size 1200 would
+// make the paper box prohibitively slow).
+func (c *commonFlags) box(arity int) lamb.Box {
+	if c.backend == "blas" {
+		return lamb.UniformBox(arity, 16, 192)
+	}
+	return lamb.PaperBox(arity)
+}
+
+// exp1Target returns (target anomalies, max samples) per scale/expression.
+func (c *commonFlags) exp1Target(exprName string) (int, int) {
+	if c.backend == "blas" {
+		return 3, 400
+	}
+	if c.scale == "paper" {
+		if exprName == "chain" {
+			return 100, 200_000
+		}
+		return 1000, 40_000
+	}
+	if exprName == "chain" {
+		return 10, 30_000
+	}
+	return 50, 2_000
+}
+
+// exp2Anomalies caps how many anomalies are traversed in Experiment 2.
+func (c *commonFlags) exp2Anomalies() int {
+	if c.backend == "blas" {
+		return 2
+	}
+	if c.scale == "paper" {
+		return 1 << 30 // all
+	}
+	return 15
+}
+
+// writeCSV writes rows to dir/name if -out was given.
+func (c *commonFlags) writeCSV(name string, rows [][]string) error {
+	if c.outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.outDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(c.outDir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := report.CSV(f, rows); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", filepath.Join(c.outDir, name))
+	return nil
+}
+
+// parseInstance parses "100,200,300" into an Instance.
+func parseInstance(s string, arity int) (lamb.Instance, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != arity {
+		return nil, fmt.Errorf("instance %q has %d dims, want %d", s, len(parts), arity)
+	}
+	inst := make(lamb.Instance, arity)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad dimension %q", p)
+		}
+		inst[i] = v
+	}
+	return inst, nil
+}
+
+func fmtPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

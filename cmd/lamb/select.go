@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lamb"
+	"lamb/internal/report"
+)
+
+// cmdSelect compares algorithm-selection strategies: the paper's MinFlops
+// baseline, the proposed FLOPs+profiles discriminant, and the measuring
+// oracle. This operationalises the paper's concluding conjecture.
+func cmdSelect(args []string) error {
+	fs := flag.NewFlagSet("select", flag.ExitOnError)
+	c := registerCommon(fs)
+	instances := fs.Int("instances", 150, "number of random instances")
+	gridPoints := fs.Int("grid", 8, "profile grid points per dimension")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p, err := newPipeline(c)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "measuring kernel profiles (%d^3 grid per kernel)...\n", *gridPoints)
+	profiles := lamb.MeasureProfiles(p.timer, *gridPoints)
+	strategies := []lamb.Strategy{
+		lamb.MinFlops{},
+		lamb.MinPredicted{Profiles: profiles},
+		lamb.Oracle{Timer: p.timer},
+	}
+	reports := lamb.EvaluateStrategies(p.e, p.timer, strategies, lamb.SelectionConfig{
+		Box:       c.box(p.e.Arity()),
+		Instances: *instances,
+		Seed:      c.seed,
+	})
+	fmt.Printf("Algorithm selection on %s (%d instances, backend %s)\n\n", p.e.Name(), *instances, c.backend)
+	rows := [][]string{{"strategy", "optimal picks", "mean regret", "max regret", "worst instance"}}
+	for _, r := range reports {
+		rows = append(rows, []string{
+			r.Strategy,
+			fmt.Sprintf("%d/%d", r.OptimalPicks, r.Instances),
+			fmtPct(r.Regret.Mean()),
+			fmtPct(r.Regret.Max),
+			r.WorstInstance.String(),
+		})
+	}
+	return report.Table(os.Stdout, rows)
+}

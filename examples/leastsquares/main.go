@@ -1,0 +1,96 @@
+// Least squares beyond the paper: the paper conjectures (§5) that more
+// complex expressions with more kernels will have more anomalies. This
+// example studies X := (A·Aᵀ + R)⁻¹·A·B — a regularised normal-equations
+// solve whose four algorithms mix six kernel kinds (SYRK, GEMM, triangle
+// add, Cholesky, and two triangular solves) — and compares its anomaly
+// abundance against the paper's two expressions.
+//
+// Run with:
+//
+//	go run ./examples/leastsquares
+package main
+
+import (
+	"fmt"
+
+	"lamb"
+)
+
+func main() {
+	lstsq := lamb.LstSq()
+	inst := lamb.Instance{300, 900, 120}
+	algs := lstsq.Algorithms(inst)
+
+	fmt.Printf("X := (A·Aᵀ + R)⁻¹·A·B, instance %v:\n\n", inst)
+	for _, a := range algs {
+		fmt.Printf("  algorithm %d (%.0f MFLOPs):\n    %s\n", a.Index, a.Flops()/1e6, a.Name)
+	}
+
+	// Verify numerically that all four algorithms agree (on the real
+	// pure-Go BLAS, with a small instance).
+	small := lamb.Instance{25, 18, 6}
+	sAlgs := lstsq.Algorithms(small)
+	inputs := map[string]*lamb.Matrix{
+		"A": lamb.NewRandomMatrix(25, 18, 1),
+		"B": lamb.NewRandomMatrix(18, 6, 2),
+		"R": spd(25),
+	}
+	ref := lamb.EvaluateAlgorithm(&sAlgs[0], inputs)
+	maxDiff := 0.0
+	for i := 1; i < len(sAlgs); i++ {
+		got := lamb.EvaluateAlgorithm(&sAlgs[i], inputs)
+		for r := 0; r < ref.Rows; r++ {
+			for c := 0; c < ref.Cols; c++ {
+				d := ref.At(r, c) - got.At(r, c)
+				if d < 0 {
+					d = -d
+				}
+				if d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+	}
+	fmt.Printf("\nall four algorithms agree numerically (max diff %.2e)\n\n", maxDiff)
+
+	// The conjecture test: anomaly abundance across the three expressions.
+	timer := lamb.NewSimTimer()
+	fmt.Println("anomaly abundance at the paper's 10% threshold (1500 samples each):")
+	for _, e := range []lamb.Expression{lamb.ChainABCD(), lamb.AATB(), lstsq} {
+		runner := lamb.NewRunner(e, timer, 0.10)
+		res := lamb.RunExperiment1(runner, lamb.Exp1Config{
+			Box:             lamb.PaperBox(e.Arity()),
+			TargetAnomalies: 1 << 30,
+			MaxSamples:      1500,
+			Seed:            9,
+		})
+		probe := make(lamb.Instance, e.Arity())
+		for i := range probe {
+			probe[i] = 100
+		}
+		fmt.Printf("  %-11s %d algorithms, %5.2f%% anomalous\n",
+			e.Name(), len(e.Algorithms(probe)), 100*res.Abundance)
+	}
+	fmt.Println("\nthe richer kernel mix multiplies the GEMM-only chain's abundance,")
+	fmt.Println("though the algorithms' shared factorisation tail damps time-score")
+	fmt.Println("differences relative to AAᵀB — expression structure matters, not")
+	fmt.Println("just kernel variety.")
+}
+
+func spd(n int) *lamb.Matrix {
+	g := lamb.NewRandomMatrix(n, n, 3)
+	s := lamb.NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var acc float64
+			for p := 0; p < n; p++ {
+				acc += g.At(i, p) * g.At(j, p)
+			}
+			if i == j {
+				acc += float64(n)
+			}
+			s.Set(i, j, acc)
+		}
+	}
+	return s
+}

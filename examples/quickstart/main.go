@@ -1,0 +1,61 @@
+// Quickstart: enumerate the algorithms of the matrix chain ABCD, measure
+// them on the simulated machine, and classify the instance as the paper
+// does — in under a minute of reading.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"lamb"
+)
+
+func main() {
+	// An anomalous instance of X := A·B·C·D on the calibrated simulated
+	// machine (found by `lamb exp1 -expr chain`). The paper's own example
+	// anomalies live at different coordinates — anomaly locations are a
+	// property of the machine, which is the paper's point.
+	inst := lamb.Instance{761, 1063, 365, 229, 245}
+	chain := lamb.ChainABCD()
+
+	// One expression, six mathematically equivalent algorithms.
+	algs := chain.Algorithms(inst)
+	fmt.Printf("expression %s, instance %v: %d algorithms\n\n", chain.Name(), inst, len(algs))
+
+	// Measure every algorithm with the paper's protocol: median of 10
+	// repetitions, cache flushed before each.
+	timer := lamb.NewSimTimer()
+	runner := lamb.NewRunner(chain, timer, 0.10)
+	res := runner.Evaluate(inst)
+
+	for i, a := range algs {
+		fmt.Printf("  algorithm %d: %-34s %12.0f FLOPs  %8.2f ms\n",
+			a.Index, a.Name, res.Flops[i], 1e3*res.Times[i])
+	}
+
+	// The paper's question: is a minimum-FLOPs algorithm among the
+	// fastest?
+	cl := res.Class
+	fmt.Printf("\ncheapest algorithms: %v (by FLOP count)\n", plusOne(cl.CheapestSet))
+	fmt.Printf("fastest algorithms:  %v (by measured time)\n", plusOne(cl.FastestSet))
+	if cl.Anomaly {
+		fmt.Printf("\nANOMALY: the fastest algorithm is %.1f%% faster than the best "+
+			"minimum-FLOPs algorithm,\nwhile the cheapest needs %.1f%% fewer FLOPs "+
+			"than the fastest.\n", 100*cl.TimeScore, 100*cl.FlopScore)
+		fmt.Println("FLOP count alone would have picked a slow algorithm here.")
+	} else {
+		fmt.Println("\nno anomaly: minimising FLOPs also picked a fastest algorithm.")
+	}
+}
+
+// plusOne converts 0-based indices to the paper's 1-based numbering.
+func plusOne(xs []int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = x + 1
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package blas
+
+import (
+	"testing"
+
+	"lamb/internal/mat"
+	"lamb/internal/xrand"
+)
+
+// Edge-case coverage for the kernels: accumulation semantics, strided
+// views, degenerate shapes, and beta handling in triangular routines.
+
+func TestSyrkAccumulateBetaOne(t *testing.T) {
+	rng := xrand.New(61)
+	a1 := mat.NewRandom(40, 10, rng)
+	a2 := mat.NewRandom(40, 15, rng)
+	// C = a1·a1ᵀ + a2·a2ᵀ accumulated in two SYRKs equals one SYRK of the
+	// concatenation.
+	c := mat.New(40, 40)
+	Syrk(mat.Lower, 1, a1, 0, c)
+	Syrk(mat.Lower, 1, a2, 1, c)
+	concat := mat.New(40, 25)
+	mat.Copy(concat.Slice(0, 40, 0, 10), a1)
+	mat.Copy(concat.Slice(0, 40, 10, 25), a2)
+	want := mat.New(40, 40)
+	NaiveSyrk(mat.Lower, 1, concat, 0, want)
+	mat.ZeroTriangle(c, mat.Lower)
+	mat.ZeroTriangle(want, mat.Lower)
+	if d := mat.MaxAbsDiff(c, want); d > 1e-12*25 {
+		t.Fatalf("accumulated syrk wrong: %g", d)
+	}
+}
+
+func TestSymmOnStridedViews(t *testing.T) {
+	rng := xrand.New(62)
+	big := mat.NewRandom(80, 80, rng)
+	// Carve a symmetric block out of a larger allocation.
+	sym := mat.NewSymmetricRandom(30, rng)
+	aView := big.Slice(5, 35, 5, 35)
+	mat.Copy(aView, sym)
+	b := big.Slice(10, 40, 40, 52) // 30x12 view
+	got := mat.New(30, 12)
+	want := mat.New(30, 12)
+	Symm(mat.Lower, 1, aView, b, 0, got)
+	NaiveSymm(mat.Lower, 1, aView.Clone(), b.Clone(), 0, want)
+	if d := mat.MaxAbsDiff(got, want); d > 1e-12*30 {
+		t.Fatalf("symm on views: %g", d)
+	}
+}
+
+func TestTrsmSingleColumnAndRow(t *testing.T) {
+	rng := xrand.New(63)
+	// 1x1 system.
+	l := mat.NewFromSlice(1, 1, []float64{2})
+	b := mat.NewFromSlice(1, 1, []float64{6})
+	Trsm(mat.Lower, false, 1, l, b)
+	if b.At(0, 0) != 3 {
+		t.Fatalf("1x1 solve = %v, want 3", b.At(0, 0))
+	}
+	// Single RHS column through the blocked path.
+	m := 130
+	big := mat.NewRandom(m, m, rng)
+	for i := 0; i < m; i++ {
+		big.Set(i, i, 5)
+	}
+	rhs := mat.NewRandom(m, 1, rng)
+	got := rhs.Clone()
+	want := rhs.Clone()
+	Trsm(mat.Upper, false, 1, big, got)
+	NaiveTrsm(mat.Upper, false, 1, big, want)
+	if d := mat.MaxAbsDiff(got, want); d > 1e-10 {
+		t.Fatalf("single-column upper solve: %g", d)
+	}
+}
+
+func TestTrsmZeroColumnsNoop(t *testing.T) {
+	l := mat.NewFromSlice(2, 2, []float64{1, 1, 0, 1})
+	b := mat.New(2, 0)
+	Trsm(mat.Lower, false, 1, l, b) // must not panic
+}
+
+func TestPotrfOnView(t *testing.T) {
+	rng := xrand.New(64)
+	big := mat.New(100, 100)
+	spd := spdMatrix(60, rng)
+	view := big.Slice(20, 80, 20, 80)
+	mat.Copy(view, spd)
+	if err := Potrf(view); err != nil {
+		t.Fatal(err)
+	}
+	// The factor must reconstruct the original.
+	l := view.Clone()
+	mat.ZeroTriangle(l, mat.Lower)
+	recon := mat.New(60, 60)
+	NaiveGemm(false, true, 1, l, l, 0, recon)
+	for j := 0; j < 60; j++ {
+		for i := j; i < 60; i++ {
+			if diff := recon.At(i, j) - spd.At(i, j); diff > 1e-7 || diff < -1e-7 {
+				t.Fatalf("view potrf reconstruction off at (%d,%d): %g", i, j, diff)
+			}
+		}
+	}
+	// Surrounding data untouched.
+	if big.At(0, 0) != 0 || big.At(99, 99) != 0 {
+		t.Fatal("potrf on view leaked outside the view")
+	}
+}
+
+func TestGemmBetaMinusOne(t *testing.T) {
+	rng := xrand.New(65)
+	a := mat.NewRandom(20, 20, rng)
+	b := mat.NewRandom(20, 20, rng)
+	c := mat.NewRandom(20, 20, rng)
+	got := c.Clone()
+	want := c.Clone()
+	Gemm(false, false, 2, a, b, -1, got)
+	NaiveGemm(false, false, 2, a, b, -1, want)
+	if d := mat.MaxAbsDiff(got, want); d > 1e-12*20 {
+		t.Fatalf("beta=-1: %g", d)
+	}
+}
+
+func TestScaleTriangleBetaCases(t *testing.T) {
+	c := mat.New(4, 4)
+	c.Fill(2)
+	scaleTriangle(c, mat.Upper, 0.5)
+	if c.At(0, 3) != 1 || c.At(3, 0) != 2 {
+		t.Fatal("scaleTriangle(Upper, 0.5) wrong")
+	}
+	scaleTriangle(c, mat.Upper, 1) // no-op
+	if c.At(0, 3) != 1 {
+		t.Fatal("beta=1 should be a no-op")
+	}
+	scaleTriangle(c, mat.Lower, 0)
+	if c.At(3, 0) != 0 || c.At(0, 3) != 1 {
+		t.Fatal("scaleTriangle(Lower, 0) wrong")
+	}
+}
+
+func TestAddSymUpper(t *testing.T) {
+	rng := xrand.New(66)
+	c := mat.NewRandom(6, 6, rng)
+	a := mat.NewRandom(6, 6, rng)
+	orig := c.Clone()
+	AddSym(mat.Upper, c, a)
+	for j := 0; j < 6; j++ {
+		for i := 0; i < 6; i++ {
+			want := orig.At(i, j)
+			if i <= j {
+				want += a.At(i, j)
+			}
+			if c.At(i, j) != want {
+				t.Fatalf("upper addsym wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+}

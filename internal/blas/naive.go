@@ -1,0 +1,89 @@
+package blas
+
+import "lamb/internal/mat"
+
+// This file holds straightforward triple-loop reference implementations.
+// They define the semantics the optimised kernels are tested against and
+// are deliberately written without blocking or parallelism.
+
+// NaiveGemm computes C := alpha·op(A)·op(B) + beta·C by the textbook
+// triple loop. Semantics match Gemm.
+func NaiveGemm(transA, transB bool, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
+	m, k := opDims(a, transA)
+	_, n := opDims(b, transB)
+	at := func(i, p int) float64 {
+		if transA {
+			return a.At(p, i)
+		}
+		return a.At(i, p)
+	}
+	bt := func(p, j int) float64 {
+		if transB {
+			return b.At(j, p)
+		}
+		return b.At(p, j)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += at(i, p) * bt(p, j)
+			}
+			if beta == 0 {
+				c.Set(i, j, alpha*s)
+			} else {
+				c.Set(i, j, beta*c.At(i, j)+alpha*s)
+			}
+		}
+	}
+}
+
+// NaiveSyrk computes the uplo triangle of C := alpha·A·Aᵀ + beta·C.
+// Semantics match Syrk: the opposite strict triangle is untouched.
+func NaiveSyrk(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
+	m, k := a.Rows, a.Cols
+	for j := 0; j < m; j++ {
+		var lo, hi int
+		if uplo == mat.Lower {
+			lo, hi = j, m
+		} else {
+			lo, hi = 0, j+1
+		}
+		for i := lo; i < hi; i++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * a.At(j, p)
+			}
+			if beta == 0 {
+				c.Set(i, j, alpha*s)
+			} else {
+				c.Set(i, j, beta*c.At(i, j)+alpha*s)
+			}
+		}
+	}
+}
+
+// NaiveSymm computes C := alpha·A·B + beta·C with A symmetric and only
+// the uplo triangle of A referenced. Semantics match Symm.
+func NaiveSymm(uplo mat.Uplo, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
+	m, n := a.Rows, b.Cols
+	sym := func(i, j int) float64 {
+		if (uplo == mat.Lower && i >= j) || (uplo == mat.Upper && i <= j) {
+			return a.At(i, j)
+		}
+		return a.At(j, i)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			var s float64
+			for p := 0; p < m; p++ {
+				s += sym(i, p) * b.At(p, j)
+			}
+			if beta == 0 {
+				c.Set(i, j, alpha*s)
+			} else {
+				c.Set(i, j, beta*c.At(i, j)+alpha*s)
+			}
+		}
+	}
+}

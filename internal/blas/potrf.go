@@ -1,0 +1,125 @@
+package blas
+
+import (
+	"fmt"
+	"math"
+
+	"lamb/internal/mat"
+)
+
+// Potrf computes the Cholesky factorisation A = L·Lᵀ of a symmetric
+// positive definite matrix in place: on entry the lower triangle of a
+// holds the lower triangle of A; on return it holds L. The strict upper
+// triangle is not referenced or modified. It returns an error if a
+// non-positive pivot is encountered (A not positive definite).
+//
+// The implementation is the right-looking blocked algorithm (LAPACK
+// dpotrf): factor a diagonal block unblocked, TRSM the panel below it,
+// then SYRK-update the trailing matrix — so large factorisations inherit
+// the performance of the level-3 kernels.
+func Potrf(a *mat.Dense) error {
+	n := a.Rows
+	if a.Cols != n {
+		return fmt.Errorf("blas: potrf of non-square %dx%d", a.Rows, a.Cols)
+	}
+	const nb = 64
+	for k0 := 0; k0 < n; k0 += nb {
+		k1 := min(k0+nb, n)
+		akk := a.Slice(k0, k1, k0, k1)
+		if err := potf2(akk, k0); err != nil {
+			return err
+		}
+		if k1 == n {
+			break
+		}
+		// Panel solve: A[k1:, k0:k1] := A[k1:, k0:k1] · L_kkᵀ⁻¹, i.e.
+		// solve X · Lᵀ = P. Equivalently solve L · Xᵀ = Pᵀ; done here
+		// column-by-column with the right-side substitution inlined.
+		panel := a.Slice(k1, n, k0, k1)
+		trsmRightLowerTrans(akk, panel)
+		// Trailing update: A[k1:, k1:] -= panel · panelᵀ (lower only).
+		trailing := a.Slice(k1, n, k1, n)
+		Syrk(mat.Lower, -1, panel, 1, trailing)
+	}
+	return nil
+}
+
+// potf2 is the unblocked Cholesky of a small diagonal block; off is the
+// block's global offset, used only for error reporting.
+func potf2(a *mat.Dense, off int) error {
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		d := a.Data[j+j*a.Stride]
+		for p := 0; p < j; p++ {
+			v := a.Data[j+p*a.Stride]
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("blas: potrf: leading minor of order %d is not positive definite", off+j+1)
+		}
+		d = math.Sqrt(d)
+		a.Data[j+j*a.Stride] = d
+		for i := j + 1; i < n; i++ {
+			s := a.Data[i+j*a.Stride]
+			for p := 0; p < j; p++ {
+				s -= a.Data[i+p*a.Stride] * a.Data[j+p*a.Stride]
+			}
+			a.Data[i+j*a.Stride] = s / d
+		}
+	}
+	return nil
+}
+
+// trsmRightLowerTrans solves X·Lᵀ = B in place for lower-triangular L
+// (the panel update of the blocked Cholesky): B is m×k, L is k×k.
+func trsmRightLowerTrans(l, b *mat.Dense) {
+	m, k := b.Rows, l.Rows
+	for j := 0; j < k; j++ {
+		ljj := l.Data[j+j*l.Stride]
+		colj := b.Data[j*b.Stride:]
+		for i := 0; i < m; i++ {
+			colj[i] /= ljj
+		}
+		for p := j + 1; p < k; p++ {
+			lpj := l.Data[p+j*l.Stride]
+			if lpj == 0 {
+				continue
+			}
+			colp := b.Data[p*b.Stride:]
+			for i := 0; i < m; i++ {
+				colp[i] -= lpj * colj[i]
+			}
+		}
+	}
+}
+
+// NaivePotrf is the reference unblocked Cholesky. Semantics match Potrf.
+func NaivePotrf(a *mat.Dense) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("blas: potrf of non-square %dx%d", a.Rows, a.Cols)
+	}
+	return potf2(a, 0)
+}
+
+// AddSym adds the uplo triangles element-wise: C := C + A, touching only
+// the selected triangle. It is the symmetric accumulation step of the
+// least-squares expression (S := A·Aᵀ + R).
+func AddSym(uplo mat.Uplo, c, a *mat.Dense) {
+	n := c.Rows
+	if c.Cols != n || a.Rows != n || a.Cols != n {
+		panic(fmt.Sprintf("blas: addsym with C %dx%d, A %dx%d", c.Rows, c.Cols, a.Rows, a.Cols))
+	}
+	for j := 0; j < n; j++ {
+		var lo, hi int
+		if uplo == mat.Lower {
+			lo, hi = j, n
+		} else {
+			lo, hi = 0, j+1
+		}
+		ccol := c.Data[j*c.Stride:]
+		acol := a.Data[j*a.Stride:]
+		for i := lo; i < hi; i++ {
+			ccol[i] += acol[i]
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package blas
+
+import (
+	"fmt"
+
+	"lamb/internal/mat"
+)
+
+// syrkBlock is the block size for the SYRK and SYMM drivers.
+const syrkBlock = 96
+
+// Syrk computes the uplo triangle of C := alpha·A·Aᵀ + beta·C, with A
+// m×k and C m×m. Only the selected triangle of C is referenced and
+// written; the opposite strict triangle is left untouched, exactly like
+// the BLAS kernel. It panics on mismatched dimensions.
+//
+// The implementation processes C by blocks: off-diagonal blocks are plain
+// GEMMs on row slices of A (with a transposed right-hand side), while
+// diagonal blocks are computed into a scratch square and only the
+// triangle merged. The diagonal overhead is why a measured SYRK ramps up
+// more slowly than GEMM at small m — one of the kernel-efficiency gaps
+// the paper identifies.
+func Syrk(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
+	m, k := a.Rows, a.Cols
+	if c.Rows != m || c.Cols != m {
+		panic(fmt.Sprintf("blas: syrk output %dx%d, want %dx%d", c.Rows, c.Cols, m, m))
+	}
+	if m == 0 {
+		return
+	}
+	if alpha == 0 || k == 0 {
+		scaleTriangle(c, uplo, beta)
+		return
+	}
+	scratch := mat.New(syrkBlock, syrkBlock)
+	for j0 := 0; j0 < m; j0 += syrkBlock {
+		j1 := min(j0+syrkBlock, m)
+		aj := a.Slice(j0, j1, 0, k)
+		// Diagonal block: compute the full square into scratch, merge the
+		// triangle.
+		nb := j1 - j0
+		sb := scratch.Slice(0, nb, 0, nb)
+		Gemm(false, true, alpha, aj, aj, 0, sb)
+		mergeTriangle(c, sb, j0, uplo, beta)
+		// Off-diagonal blocks.
+		if uplo == mat.Lower {
+			for i0 := j1; i0 < m; i0 += syrkBlock {
+				i1 := min(i0+syrkBlock, m)
+				ai := a.Slice(i0, i1, 0, k)
+				cb := c.Slice(i0, i1, j0, j1)
+				Gemm(false, true, alpha, ai, aj, beta, cb)
+			}
+		} else {
+			for i0 := 0; i0 < j0; i0 += syrkBlock {
+				i1 := min(i0+syrkBlock, j0)
+				ai := a.Slice(i0, i1, 0, k)
+				cb := c.Slice(i0, i1, j0, j1)
+				Gemm(false, true, alpha, ai, aj, beta, cb)
+			}
+		}
+	}
+}
+
+// mergeTriangle merges the uplo triangle of the nb×nb block sb into
+// C[j0:j0+nb, j0:j0+nb] as C := beta·C + sb (sb already carries alpha).
+func mergeTriangle(c, sb *mat.Dense, j0 int, uplo mat.Uplo, beta float64) {
+	nb := sb.Rows
+	for j := 0; j < nb; j++ {
+		var lo, hi int
+		if uplo == mat.Lower {
+			lo, hi = j, nb
+		} else {
+			lo, hi = 0, j+1
+		}
+		ccol := c.Data[(j0+j)*c.Stride:]
+		scol := sb.Data[j*sb.Stride:]
+		if beta == 0 {
+			for i := lo; i < hi; i++ {
+				ccol[j0+i] = scol[i]
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				ccol[j0+i] = beta*ccol[j0+i] + scol[i]
+			}
+		}
+	}
+}
+
+// scaleTriangle applies C := beta·C to the uplo triangle only.
+func scaleTriangle(c *mat.Dense, uplo mat.Uplo, beta float64) {
+	if beta == 1 {
+		return
+	}
+	n := c.Rows
+	for j := 0; j < n; j++ {
+		var lo, hi int
+		if uplo == mat.Lower {
+			lo, hi = j, n
+		} else {
+			lo, hi = 0, j+1
+		}
+		col := c.Data[j*c.Stride:]
+		if beta == 0 {
+			for i := lo; i < hi; i++ {
+				col[i] = 0
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				col[i] *= beta
+			}
+		}
+	}
+}
+
+// Tri2Full mirrors the uplo triangle of the square matrix c onto the
+// opposite triangle. It is the data-movement step between SYRK and GEMM
+// in the paper's AAᵀB Algorithm 2.
+func Tri2Full(uplo mat.Uplo, c *mat.Dense) {
+	mat.MirrorTriangle(c, uplo)
+}

@@ -1,0 +1,158 @@
+package blas
+
+import (
+	"fmt"
+
+	"lamb/internal/mat"
+)
+
+// Trsm solves the triangular system op(L)·X = alpha·B in place: on
+// return B holds X. L is an m×m triangular matrix of which only the uplo
+// triangle is referenced (non-unit diagonal), op(L) is L or Lᵀ per
+// transL, and B is m×n.
+//
+// This is the left-side BLAS TRSM used by the least-squares expression's
+// Cholesky solve (see lamb/internal/expr): after L := potrf(S), the two
+// calls Trsm(Lower, false) and Trsm(Lower, true) apply S⁻¹.
+//
+// The implementation is blocked: diagonal blocks are solved with the
+// unblocked kernel and the trailing updates are GEMMs, so large solves
+// inherit the packed GEMM's performance.
+func Trsm(uplo mat.Uplo, transL bool, alpha float64, l, b *mat.Dense) {
+	m := l.Rows
+	if l.Cols != m {
+		panic(fmt.Sprintf("blas: trsm L is %dx%d, want square", l.Rows, l.Cols))
+	}
+	if b.Rows != m {
+		panic(fmt.Sprintf("blas: trsm B has %d rows, want %d", b.Rows, m))
+	}
+	if m == 0 || b.Cols == 0 {
+		return
+	}
+	if alpha != 1 {
+		scaleMatrix(b, alpha)
+	}
+	// Effective orientation: a Lower matrix accessed transposed behaves
+	// like an Upper solve and vice versa.
+	lowerLike := (uplo == mat.Lower) != transL
+	const nb = 64
+	if lowerLike {
+		// Forward substitution over block rows.
+		for k0 := 0; k0 < m; k0 += nb {
+			k1 := min(k0+nb, m)
+			lkk := l.Slice(k0, k1, k0, k1)
+			bk := b.Slice(k0, k1, 0, b.Cols)
+			if transL {
+				// Block (k,k) of op(L) is L[k0:k1,k0:k1]ᵀ.
+				trsmUnblocked(uplo, true, lkk, bk)
+			} else {
+				trsmUnblocked(uplo, false, lkk, bk)
+			}
+			if k1 < m {
+				// Trailing update: B[k1:, :] -= op(L)[k1:, k0:k1] · X_k.
+				var lik *mat.Dense
+				var transA bool
+				if !transL {
+					lik = l.Slice(k1, m, k0, k1)
+					transA = false
+				} else {
+					lik = l.Slice(k0, k1, k1, m)
+					transA = true
+				}
+				btail := b.Slice(k1, m, 0, b.Cols)
+				Gemm(transA, false, -1, lik, bk, 1, btail)
+			}
+		}
+		return
+	}
+	// Backward substitution over block rows.
+	for k1 := m; k1 > 0; k1 -= nb {
+		k0 := max(k1-nb, 0)
+		lkk := l.Slice(k0, k1, k0, k1)
+		bk := b.Slice(k0, k1, 0, b.Cols)
+		trsmUnblocked(uplo, transL, lkk, bk)
+		if k0 > 0 {
+			var lik *mat.Dense
+			var transA bool
+			if !transL {
+				lik = l.Slice(0, k0, k0, k1)
+				transA = false
+			} else {
+				lik = l.Slice(k0, k1, 0, k0)
+				transA = true
+			}
+			bhead := b.Slice(0, k0, 0, b.Cols)
+			Gemm(transA, false, -1, lik, bk, 1, bhead)
+		}
+	}
+}
+
+// trsmUnblocked solves op(T)·X = B in place for a small triangular block.
+func trsmUnblocked(uplo mat.Uplo, transL bool, t, b *mat.Dense) {
+	m, n := t.Rows, b.Cols
+	lowerLike := (uplo == mat.Lower) != transL
+	at := func(i, j int) float64 {
+		if transL {
+			return t.Data[j+i*t.Stride]
+		}
+		return t.Data[i+j*t.Stride]
+	}
+	if lowerLike {
+		for j := 0; j < n; j++ {
+			col := b.Data[j*b.Stride:]
+			for i := 0; i < m; i++ {
+				s := col[i]
+				for p := 0; p < i; p++ {
+					s -= at(i, p) * col[p]
+				}
+				col[i] = s / at(i, i)
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		col := b.Data[j*b.Stride:]
+		for i := m - 1; i >= 0; i-- {
+			s := col[i]
+			for p := i + 1; p < m; p++ {
+				s -= at(i, p) * col[p]
+			}
+			col[i] = s / at(i, i)
+		}
+	}
+}
+
+// NaiveTrsm is the reference forward/backward substitution (column by
+// column, no blocking). Semantics match Trsm.
+func NaiveTrsm(uplo mat.Uplo, transL bool, alpha float64, l, b *mat.Dense) {
+	m, n := l.Rows, b.Cols
+	at := func(i, j int) float64 {
+		if transL {
+			return l.At(j, i)
+		}
+		return l.At(i, j)
+	}
+	lowerLike := (uplo == mat.Lower) != transL
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			b.Set(i, j, alpha*b.At(i, j))
+		}
+		if lowerLike {
+			for i := 0; i < m; i++ {
+				s := b.At(i, j)
+				for p := 0; p < i; p++ {
+					s -= at(i, p) * b.At(p, j)
+				}
+				b.Set(i, j, s/at(i, i))
+			}
+		} else {
+			for i := m - 1; i >= 0; i-- {
+				s := b.At(i, j)
+				for p := i + 1; p < m; p++ {
+					s -= at(i, p) * b.At(p, j)
+				}
+				b.Set(i, j, s/at(i, i))
+			}
+		}
+	}
+}

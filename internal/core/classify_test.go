@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lamb/internal/exec"
+	"lamb/internal/expr"
+	"lamb/internal/xrand"
+)
+
+func TestClassifyNoAnomalyWhenCheapestIsFastest(t *testing.T) {
+	c := Classify([]float64{10, 20, 30}, []float64{1.0, 1.5, 2.0}, 0.10)
+	if c.Anomaly {
+		t.Fatal("cheapest==fastest should not be an anomaly")
+	}
+	if c.TimeScore != 0 || c.FlopScore != 0 {
+		t.Fatalf("scores should be 0, got time %v flop %v", c.TimeScore, c.FlopScore)
+	}
+	if len(c.CheapestSet) != 1 || c.CheapestSet[0] != 0 {
+		t.Fatalf("cheapest set %v", c.CheapestSet)
+	}
+	if len(c.FastestSet) != 1 || c.FastestSet[0] != 0 {
+		t.Fatalf("fastest set %v", c.FastestSet)
+	}
+}
+
+func TestClassifyAnomalyScores(t *testing.T) {
+	// Algorithm 0 is cheapest (10 flops) but slow (2s); algorithm 1 does
+	// 45% more flops... actually 100% more here: scores check exactly.
+	flops := []float64{10, 20}
+	times := []float64{2.0, 1.2}
+	c := Classify(flops, times, 0.10)
+	if !c.Anomaly {
+		t.Fatal("should be an anomaly")
+	}
+	if want := (2.0 - 1.2) / 2.0; math.Abs(c.TimeScore-want) > 1e-15 {
+		t.Fatalf("time score %v, want %v", c.TimeScore, want)
+	}
+	if want := (20.0 - 10.0) / 20.0; math.Abs(c.FlopScore-want) > 1e-15 {
+		t.Fatalf("flop score %v, want %v", c.FlopScore, want)
+	}
+}
+
+func TestClassifyThresholdBoundary(t *testing.T) {
+	flops := []float64{10, 20}
+	// Time score exactly 0.10: the paper requires a score *above* the
+	// threshold.
+	c := Classify(flops, []float64{1.0, 0.9}, 0.10)
+	if c.Anomaly {
+		t.Fatal("score == threshold must not classify as anomaly")
+	}
+	c = Classify(flops, []float64{1.0, 0.89}, 0.10)
+	if !c.Anomaly {
+		t.Fatal("score > threshold must classify as anomaly")
+	}
+}
+
+func TestClassifyFlopTies(t *testing.T) {
+	// Two cheapest algorithms (paper: chain algorithms 2 and 5 tie); the
+	// faster of them defines T_cheapest.
+	flops := []float64{10, 10, 30}
+	times := []float64{3.0, 2.0, 1.0}
+	c := Classify(flops, times, 0.05)
+	if len(c.CheapestSet) != 2 {
+		t.Fatalf("cheapest set %v", c.CheapestSet)
+	}
+	if want := (2.0 - 1.0) / 2.0; math.Abs(c.TimeScore-want) > 1e-15 {
+		t.Fatalf("time score %v, want %v (uses best cheapest time)", c.TimeScore, want)
+	}
+}
+
+func TestClassifyTimeTiesUseCheapestAmongFastest(t *testing.T) {
+	// Two fastest algorithms with different FLOP counts: F_fastest is the
+	// lower of the two.
+	flops := []float64{10, 30, 20}
+	times := []float64{2.0, 1.0, 1.0}
+	c := Classify(flops, times, 0.05)
+	if len(c.FastestSet) != 2 {
+		t.Fatalf("fastest set %v", c.FastestSet)
+	}
+	if want := (20.0 - 10.0) / 20.0; math.Abs(c.FlopScore-want) > 1e-15 {
+		t.Fatalf("flop score %v, want %v", c.FlopScore, want)
+	}
+}
+
+func TestClassifyPanicsOnBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { Classify(nil, nil, 0.1) },
+		func() { Classify([]float64{1}, []float64{1, 2}, 0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestClassifyScoreRangesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := rng.IntRange(1, 8)
+		flops := make([]float64, n)
+		times := make([]float64, n)
+		for i := range flops {
+			flops[i] = float64(rng.IntRange(1, 1000))
+			times[i] = rng.Float64() + 0.01
+		}
+		c := Classify(flops, times, 0.05)
+		inRange := c.TimeScore >= 0 && c.TimeScore <= 1 && c.FlopScore >= 0 && c.FlopScore <= 1
+		// Disjointness invariant: anomaly implies no index in both sets.
+		if c.Anomaly {
+			in := make(map[int]bool)
+			for _, i := range c.CheapestSet {
+				in[i] = true
+			}
+			for _, i := range c.FastestSet {
+				if in[i] {
+					return false
+				}
+			}
+		}
+		return inRange && len(c.CheapestSet) > 0 && len(c.FastestSet) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunnerEvaluate(t *testing.T) {
+	r := NewRunner(expr.NewAATB(), exec.NewTimer(exec.NewDefaultSimulated()), 0.10)
+	res := r.Evaluate(expr.Instance{150, 80, 700})
+	if len(res.Flops) != 5 || len(res.Times) != 5 || len(res.PerCall) != 5 {
+		t.Fatalf("result sizes: %d flops, %d times, %d perCall", len(res.Flops), len(res.Times), len(res.PerCall))
+	}
+	for i := range res.Times {
+		if res.Times[i] <= 0 {
+			t.Fatalf("alg %d time %v", i+1, res.Times[i])
+		}
+	}
+	// Algorithm 2 has 3 calls (syrk, tri2full, gemm); others 2.
+	if len(res.PerCall[1]) != 3 {
+		t.Fatalf("alg 2 per-call count %d", len(res.PerCall[1]))
+	}
+	// The result must not alias the input instance.
+	inst := expr.Instance{150, 80, 700}
+	res2 := r.Evaluate(inst)
+	inst[0] = 9999
+	if res2.Inst[0] == 9999 {
+		t.Fatal("Evaluate must clone the instance")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+
+	"lamb/internal/expr"
+	"lamb/internal/xrand"
+)
+
+// Exp1Config parameterises Experiment 1 (random search, paper §3.4.1).
+type Exp1Config struct {
+	// Box is the search space; the paper uses 20 ≤ dᵢ ≤ 1200.
+	Box expr.Box
+	// TargetAnomalies stops the search once this many *distinct*
+	// anomalies have been found (100 for the chain, 1000 for AAᵀB).
+	TargetAnomalies int
+	// MaxSamples bounds the search (a safety net; 0 means 10⁶).
+	MaxSamples int
+	// Seed makes the sampling stream reproducible.
+	Seed uint64
+	// Progress, if non-nil, is called every ProgressEvery samples.
+	Progress      func(samples, anomalies int)
+	ProgressEvery int
+}
+
+// Exp1Result is the outcome of Experiment 1.
+type Exp1Result struct {
+	// Samples is the number of instances drawn (with replacement).
+	Samples int
+	// Anomalies holds the distinct anomalous instances in discovery
+	// order, with their full measurements.
+	Anomalies []InstanceResult
+	// Abundance is the fraction of samples classified anomalous
+	// (duplicate draws of a known anomaly still count as anomalous
+	// samples, as in any abundance estimate from sampling with
+	// replacement).
+	Abundance float64
+}
+
+// newExp1Stream derives the experiment's sampling stream; the sequential
+// and parallel drivers share it so their draws are identical.
+func newExp1Stream(seed uint64, exprName string) *xrand.Rand {
+	return xrand.NewLabeled(seed, "exp1/"+exprName)
+}
+
+// RunExp1 searches the box uniformly at random for anomalies until the
+// target count of distinct anomalies is reached or MaxSamples is
+// exhausted. The classification threshold comes from the Runner (the
+// paper uses a 10% time score for this experiment).
+func RunExp1(r *Runner, cfg Exp1Config) Exp1Result {
+	if err := cfg.Box.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Box.Arity() != r.Expr.Arity() {
+		panic(fmt.Sprintf("core: exp1 box arity %d != expression arity %d", cfg.Box.Arity(), r.Expr.Arity()))
+	}
+	maxSamples := cfg.MaxSamples
+	if maxSamples <= 0 {
+		maxSamples = 1_000_000
+	}
+	target := cfg.TargetAnomalies
+	if target <= 0 {
+		target = 100
+	}
+	rng := newExp1Stream(cfg.Seed, r.Expr.Name())
+	seen := make(map[string]bool)
+	var out Exp1Result
+	anomalousSamples := 0
+	for out.Samples < maxSamples && len(out.Anomalies) < target {
+		inst := cfg.Box.Sample(rng)
+		out.Samples++
+		res := r.Evaluate(inst)
+		if res.Class.Anomaly {
+			anomalousSamples++
+			key := inst.String()
+			if !seen[key] {
+				seen[key] = true
+				out.Anomalies = append(out.Anomalies, res)
+			}
+		}
+		if cfg.Progress != nil && cfg.ProgressEvery > 0 && out.Samples%cfg.ProgressEvery == 0 {
+			cfg.Progress(out.Samples, len(out.Anomalies))
+		}
+	}
+	if out.Samples > 0 {
+		out.Abundance = float64(anomalousSamples) / float64(out.Samples)
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"lamb/internal/expr"
+	"lamb/internal/kernels"
+)
+
+// stubExecutor is a deterministic Executor whose timing depends only on
+// an instance predicate, giving the experiment-logic tests full control
+// over where anomalies occur.
+//
+// It targets the AATB expression: when anomalous(d0, d1, d2) holds, the
+// two cheapest algorithms (1 and 2, which tie on FLOPs) are slow and the
+// GEMM-based algorithms fast, making the instance an anomaly with time
+// score 0.5; otherwise algorithms 1 and 2 are fastest and no anomaly
+// exists.
+type stubExecutor struct {
+	anomalous func(d0, d1, d2 int) bool
+	// coldTime optionally overrides isolated benchmark times per call
+	// kind; when nil, TimeCallCold returns 1.0 for every call.
+	coldTime func(c kernels.Call) float64
+	// algCalls counts TimeAlgorithm invocations (atomic: the parallel
+	// drivers call executors concurrently).
+	algCalls atomic.Int64
+	// benchCalls counts TimeCallCold invocations.
+	benchCalls atomic.Int64
+}
+
+func (s *stubExecutor) dims(alg *expr.Algorithm) (d0, d1, d2 int) {
+	a := alg.Shapes["A"]
+	b := alg.Shapes["B"]
+	return a.Rows, a.Cols, b.Cols
+}
+
+// aatbMinFlops returns the minimum FLOP count over the five AATB
+// algorithms (paper formulas).
+func aatbMinFlops(d0, d1, d2 int) float64 {
+	f0, f1, f2 := float64(d0), float64(d1), float64(d2)
+	m := f0 * ((f0+1)*f1 + 2*f0*f2) // algs 1, 2
+	if v := 2 * f0 * f0 * (f1 + f2); v < m {
+		m = v // algs 3, 4
+	}
+	if v := 4 * f0 * f1 * f2; v < m {
+		m = v // alg 5
+	}
+	return m
+}
+
+func (s *stubExecutor) TimeAlgorithm(alg *expr.Algorithm, rep uint64) []float64 {
+	s.algCalls.Add(1)
+	d0, d1, d2 := s.dims(alg)
+	isCheapest := alg.Flops() == aatbMinFlops(d0, d1, d2)
+	var total float64
+	switch {
+	case isCheapest && s.anomalous(d0, d1, d2):
+		total = 2.0 // the cheapest algorithms are slow: an anomaly
+	case isCheapest:
+		total = 0.5 // the cheapest algorithms are also fastest: no anomaly
+	default:
+		total = 1.0
+	}
+	// Spread the total uniformly over the calls.
+	times := make([]float64, len(alg.Calls))
+	for i := range times {
+		times[i] = total / float64(len(times))
+	}
+	return times
+}
+
+func (s *stubExecutor) TimeCallCold(c kernels.Call, rep uint64) float64 {
+	s.benchCalls.Add(1)
+	if s.coldTime != nil {
+		return s.coldTime(c)
+	}
+	return 1.0
+}
+
+func (s *stubExecutor) Peak() float64 { return 1e9 }
+func (s *stubExecutor) Name() string  { return "stub" }

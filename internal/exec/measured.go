@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lamb/internal/blas"
+	"lamb/internal/expr"
+	"lamb/internal/kernels"
+	"lamb/internal/mat"
+	"lamb/internal/xrand"
+)
+
+// Measured is the Executor that runs the pure-Go BLAS kernels and times
+// them with the monotonic clock. It follows the paper's protocol: before
+// each repetition the cache is flushed by streaming through a buffer
+// larger than any realistic LLC; within a repetition the calls run
+// back-to-back so inter-kernel cache effects are present.
+//
+// Operand contents never influence BLAS timing (dense unstructured
+// inputs), so inputs are filled once per algorithm from a deterministic
+// stream.
+type Measured struct {
+	// FlushBytes is the size of the cache-flushing buffer. The default
+	// (32 MiB) exceeds typical LLCs.
+	FlushBytes int
+
+	flushBuf []float64
+	fillRng  *xrand.Rand
+
+	peakOnce sync.Once
+	peak     float64
+}
+
+// NewMeasured returns a measured executor with default settings.
+func NewMeasured() *Measured {
+	return &Measured{FlushBytes: 32 << 20, fillRng: xrand.New(0xfeed)}
+}
+
+// flushCache streams writes through the flush buffer, evicting cached
+// operand data (the paper flushes the cache before each repetition).
+func (e *Measured) flushCache() {
+	if e.flushBuf == nil {
+		n := e.FlushBytes / 8
+		if n < 1024 {
+			n = 1024
+		}
+		e.flushBuf = make([]float64, n)
+	}
+	for i := range e.flushBuf {
+		e.flushBuf[i] += 1
+	}
+}
+
+// materialise allocates and fills every operand of the algorithm.
+// Inputs get random contents (SPD inputs get a well-conditioned SPD
+// matrix so in-place Cholesky factorisations succeed); temporaries and
+// the output are zeroed.
+func (e *Measured) materialise(alg *expr.Algorithm) map[string]*mat.Dense {
+	ops := make(map[string]*mat.Dense, len(alg.Shapes))
+	inputs := make(map[string]bool, len(alg.Inputs))
+	for _, id := range alg.Inputs {
+		inputs[id] = true
+	}
+	spd := make(map[string]bool, len(alg.SPDInputs))
+	for _, id := range alg.SPDInputs {
+		spd[id] = true
+	}
+	for id, sh := range alg.Shapes {
+		var m *mat.Dense
+		switch {
+		case spd[id]:
+			m = mat.NewSPDRandom(sh.Rows, e.fillRng)
+		case inputs[id]:
+			m = mat.NewRandom(sh.Rows, sh.Cols, e.fillRng)
+		default:
+			m = mat.New(sh.Rows, sh.Cols)
+		}
+		ops[id] = m
+	}
+	return ops
+}
+
+// Dispatch executes a single call on the operand map using the pure-Go
+// BLAS kernels. Symmetric kernels use the lower triangle, matching the
+// SYRK outputs produced here. It is exported so tests and examples can
+// evaluate algorithms for correctness (see EvaluateAlgorithm).
+func Dispatch(call kernels.Call, ops map[string]*mat.Dense) {
+	switch call.Kind {
+	case kernels.Gemm:
+		blas.Gemm(call.TransA, call.TransB, 1, ops[call.In[0]], ops[call.In[1]], 0, ops[call.Out])
+	case kernels.Syrk:
+		blas.Syrk(mat.Lower, 1, ops[call.In[0]], 0, ops[call.Out])
+	case kernels.Symm:
+		blas.Symm(mat.Lower, 1, ops[call.In[0]], ops[call.In[1]], 0, ops[call.Out])
+	case kernels.Tri2Full:
+		blas.Tri2Full(mat.Lower, ops[call.Out])
+	case kernels.Potrf:
+		if err := blas.Potrf(ops[call.Out]); err != nil {
+			panic(fmt.Sprintf("exec: %v (operand %q must be SPD)", err, call.Out))
+		}
+	case kernels.Trsm:
+		blas.Trsm(mat.Lower, call.TransA, 1, ops[call.In[0]], ops[call.Out])
+	case kernels.AddSym:
+		blas.AddSym(mat.Lower, ops[call.Out], ops[call.In[1]])
+	default:
+		panic(fmt.Sprintf("exec: dispatch of unknown kind %v", call.Kind))
+	}
+}
+
+// EvaluateAlgorithm runs the algorithm's calls on the provided input
+// operands and returns the final result. It allocates temporaries and the
+// output from the algorithm's shape table. This is the correctness path:
+// all algorithms of an expression must produce (numerically) the same
+// result.
+func EvaluateAlgorithm(alg *expr.Algorithm, inputs map[string]*mat.Dense) *mat.Dense {
+	ops := make(map[string]*mat.Dense, len(alg.Shapes))
+	for id, sh := range alg.Shapes {
+		if in, ok := inputs[id]; ok {
+			if in.Rows != sh.Rows || in.Cols != sh.Cols {
+				panic(fmt.Sprintf("exec: input %q is %dx%d, algorithm expects %dx%d",
+					id, in.Rows, in.Cols, sh.Rows, sh.Cols))
+			}
+			ops[id] = in
+			continue
+		}
+		ops[id] = mat.New(sh.Rows, sh.Cols)
+	}
+	for _, call := range alg.Calls {
+		Dispatch(call, ops)
+	}
+	return ops[alg.Output]
+}
+
+// TimeAlgorithm implements Executor.
+func (e *Measured) TimeAlgorithm(alg *expr.Algorithm, rep uint64) []float64 {
+	ops := e.materialise(alg)
+	e.flushCache()
+	times := make([]float64, len(alg.Calls))
+	for i, call := range alg.Calls {
+		start := time.Now()
+		Dispatch(call, ops)
+		times[i] = time.Since(start).Seconds()
+	}
+	return times
+}
+
+// TimeCallCold implements Executor: the call runs on freshly allocated
+// operands after a cache flush.
+func (e *Measured) TimeCallCold(call kernels.Call, rep uint64) float64 {
+	ops := operandsForCall(call, e.fillRng)
+	e.flushCache()
+	start := time.Now()
+	Dispatch(call, ops)
+	return time.Since(start).Seconds()
+}
+
+// operandsForCall allocates the minimal operand set for one call.
+func operandsForCall(call kernels.Call, rng *xrand.Rand) map[string]*mat.Dense {
+	ops := make(map[string]*mat.Dense, 3)
+	alloc := func(id string, r, c int) {
+		if _, ok := ops[id]; !ok {
+			ops[id] = mat.NewRandom(r, c, rng)
+		}
+	}
+	switch call.Kind {
+	case kernels.Gemm:
+		ar, ac := call.M, call.K
+		if call.TransA {
+			ar, ac = call.K, call.M
+		}
+		br, bc := call.K, call.N
+		if call.TransB {
+			br, bc = call.N, call.K
+		}
+		alloc(call.In[0], ar, ac)
+		alloc(call.In[1], br, bc)
+	case kernels.Syrk:
+		alloc(call.In[0], call.M, call.K)
+	case kernels.Symm:
+		alloc(call.In[0], call.M, call.M)
+		alloc(call.In[1], call.M, call.N)
+	case kernels.Tri2Full:
+		// In == Out; handled below.
+	case kernels.Potrf:
+		// The factorisation runs in place on an SPD operand.
+		ops[call.Out] = mat.NewSPDRandom(call.M, rng)
+	case kernels.Trsm:
+		// L must be a usable triangular factor: diagonally dominant.
+		l := mat.NewRandom(call.M, call.M, rng)
+		for i := 0; i < call.M; i++ {
+			l.Set(i, i, 4+rng.Float64())
+		}
+		ops[call.In[0]] = l
+	case kernels.AddSym:
+		ops[call.In[1]] = mat.NewRandom(call.M, call.M, rng)
+	default:
+		panic(fmt.Sprintf("exec: operands for unknown kind %v", call.Kind))
+	}
+	if _, ok := ops[call.Out]; !ok {
+		ops[call.Out] = mat.NewRandom(call.M, call.N, rng)
+	}
+	return ops
+}
+
+// Peak implements Executor: an estimate of the machine's attainable FLOP
+// rate, measured once from square GEMM runs. Efficiencies reported by the
+// measured backend are relative to this estimate.
+func (e *Measured) Peak() float64 {
+	e.peakOnce.Do(func() {
+		rng := xrand.New(0xbeef)
+		best := 0.0
+		for _, s := range []int{192, 320} {
+			a := mat.NewRandom(s, s, rng)
+			b := mat.NewRandom(s, s, rng)
+			c := mat.New(s, s)
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				blas.Gemm(false, false, 1, a, b, 0, c)
+				el := time.Since(start).Seconds()
+				if gf := 2 * float64(s) * float64(s) * float64(s) / el; gf > best {
+					best = gf
+				}
+			}
+		}
+		e.peak = best
+	})
+	return e.peak
+}
+
+// Name implements Executor.
+func (e *Measured) Name() string { return "measured/pure-go-blas" }

@@ -1,0 +1,70 @@
+package expr
+
+import (
+	"fmt"
+
+	"lamb/internal/xrand"
+)
+
+// Box is a hyper-rectangular search space of instances: dimension i
+// ranges over the inclusive interval [Lo[i], Hi[i]]. The paper's
+// experiments use 20 ≤ dᵢ ≤ 1200 for every dimension.
+type Box struct {
+	Lo, Hi []int
+}
+
+// UniformBox returns a box with the same inclusive range in every one of
+// the arity dimensions.
+func UniformBox(arity, lo, hi int) Box {
+	l := make([]int, arity)
+	h := make([]int, arity)
+	for i := range l {
+		l[i], h[i] = lo, hi
+	}
+	return Box{Lo: l, Hi: h}
+}
+
+// PaperBox returns the paper's search space, 20 ≤ dᵢ ≤ 1200, for an
+// expression of the given arity.
+func PaperBox(arity int) Box { return UniformBox(arity, 20, 1200) }
+
+// Arity returns the box's dimensionality.
+func (b Box) Arity() int { return len(b.Lo) }
+
+// Validate checks that the box is well-formed.
+func (b Box) Validate() error {
+	if len(b.Lo) != len(b.Hi) {
+		return fmt.Errorf("expr: box lo/hi arity mismatch %d vs %d", len(b.Lo), len(b.Hi))
+	}
+	if len(b.Lo) == 0 {
+		return fmt.Errorf("expr: empty box")
+	}
+	for i := range b.Lo {
+		if b.Lo[i] <= 0 || b.Hi[i] < b.Lo[i] {
+			return fmt.Errorf("expr: box dim %d has invalid range [%d, %d]", i, b.Lo[i], b.Hi[i])
+		}
+	}
+	return nil
+}
+
+// Contains reports whether the instance lies inside the box.
+func (b Box) Contains(inst Instance) bool {
+	if len(inst) != len(b.Lo) {
+		return false
+	}
+	for i, d := range inst {
+		if d < b.Lo[i] || d > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Sample draws an instance uniformly at random from the box.
+func (b Box) Sample(rng *xrand.Rand) Instance {
+	inst := make(Instance, len(b.Lo))
+	for i := range inst {
+		inst[i] = rng.IntRange(b.Lo[i], b.Hi[i])
+	}
+	return inst
+}

@@ -1,0 +1,178 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"lamb/internal/kernels"
+)
+
+// Chain is the matrix chain expression X := A₁·A₂·…·Aₙ with n terms.
+// An instance has n+1 dimensions (d0, …, dn): term i is dᵢ₋₁×dᵢ.
+//
+// The algorithm set is every order in which the n−1 pairwise products can
+// be performed — (n−1)! algorithms. Note that this is finer-grained than
+// parenthesisations: the paper's Algorithms 2 and 5 for ABCD share the
+// tree (AB)(CD) but differ in which product is computed first, which
+// matters for inter-kernel cache effects.
+type Chain struct {
+	// Terms is the number of matrices in the chain (≥ 2).
+	Terms int
+}
+
+// NewChainABCD returns the paper's 4-term matrix chain expression.
+func NewChainABCD() Chain { return Chain{Terms: 4} }
+
+// Name implements Expression.
+func (c Chain) Name() string {
+	if c.Terms == 4 {
+		return "chain-ABCD"
+	}
+	return fmt.Sprintf("chain-%d", c.Terms)
+}
+
+// Arity implements Expression: a chain of n terms has n+1 dimensions.
+func (c Chain) Arity() int { return c.Terms + 1 }
+
+// Validate implements Expression.
+func (c Chain) Validate(inst Instance) error {
+	if c.Terms < 2 {
+		return fmt.Errorf("expr: chain needs at least 2 terms, has %d", c.Terms)
+	}
+	if c.Terms > 26 {
+		return fmt.Errorf("expr: chain of %d terms exceeds the naming limit of 26", c.Terms)
+	}
+	return validateDims(c.Name(), c.Arity(), inst)
+}
+
+// NumAlgorithms returns (n−1)!, the size of the algorithm set.
+func (c Chain) NumAlgorithms() int {
+	n := 1
+	for i := 2; i < c.Terms; i++ {
+		n *= i
+	}
+	return n
+}
+
+// segment is a contiguous run of the chain that has been reduced to a
+// single operand covering dims[lo..hi].
+type segment struct {
+	lo, hi int
+	id     string
+}
+
+// Algorithms implements Expression, enumerating all (n−1)! multiplication
+// orders via depth-first search. For the 4-term chain the DFS visits the
+// paper's Algorithms 1–6 in exactly the paper's order.
+func (c Chain) Algorithms(inst Instance) []Algorithm {
+	if err := c.Validate(inst); err != nil {
+		panic(err)
+	}
+	n := c.Terms
+	inputs := make([]string, n)
+	segs := make([]segment, n)
+	shapes := make(map[string]Shape, 2*n)
+	for i := 0; i < n; i++ {
+		id := string(rune('A' + i))
+		inputs[i] = id
+		segs[i] = segment{lo: i, hi: i + 1, id: id}
+		shapes[id] = Shape{Rows: inst[i], Cols: inst[i+1]}
+	}
+
+	var algs []Algorithm
+	var calls []kernels.Call
+	var steps []string
+	tempShapes := make(map[string]Shape)
+
+	var rec func(segs []segment, nextTemp int)
+	rec = func(segs []segment, nextTemp int) {
+		if len(segs) == 1 {
+			alg := Algorithm{
+				Index:  len(algs) + 1,
+				Name:   strings.Join(steps, "; "),
+				Calls:  append([]kernels.Call(nil), calls...),
+				Shapes: make(map[string]Shape, len(shapes)+len(tempShapes)),
+				Inputs: append([]string(nil), inputs...),
+				Output: "X",
+			}
+			for id, sh := range shapes {
+				alg.Shapes[id] = sh
+			}
+			for id, sh := range tempShapes {
+				alg.Shapes[id] = sh
+			}
+			algs = append(algs, alg)
+			return
+		}
+		for p := 0; p < len(segs)-1; p++ {
+			left, right := segs[p], segs[p+1]
+			m, k, nn := inst[left.lo], inst[left.hi], inst[right.hi]
+			var outID string
+			if len(segs) == 2 {
+				outID = "X"
+			} else {
+				outID = fmt.Sprintf("M%d", nextTemp)
+			}
+			tempShapes[outID] = Shape{Rows: m, Cols: nn}
+			calls = append(calls, kernels.NewGemm(m, nn, k, left.id, right.id, outID, false, false))
+			steps = append(steps, fmt.Sprintf("%s:=%s·%s", outID, left.id, right.id))
+
+			merged := make([]segment, 0, len(segs)-1)
+			merged = append(merged, segs[:p]...)
+			merged = append(merged, segment{lo: left.lo, hi: right.hi, id: outID})
+			merged = append(merged, segs[p+2:]...)
+			rec(merged, nextTemp+1)
+
+			calls = calls[:len(calls)-1]
+			steps = steps[:len(steps)-1]
+			delete(tempShapes, outID)
+		}
+	}
+	rec(segs, 1)
+	return algs
+}
+
+// MinFlopsParenthesisation solves the classic matrix-chain ordering
+// problem by dynamic programming in O(n³) time: given the n+1 chain
+// dimensions it returns the minimum FLOP count over all parenthesisations
+// (counting 2·m·n·k per product, as the paper does for GEMM) and a fully
+// parenthesised rendering of one optimal tree.
+//
+// This is the textbook baseline against which the enumerated algorithm
+// set is checked: the minimum over the (n−1)! enumerated algorithms must
+// equal the DP optimum.
+func MinFlopsParenthesisation(dims []int) (float64, string) {
+	n := len(dims) - 1
+	if n < 1 {
+		panic(fmt.Sprintf("expr: chain DP needs at least one term, dims %v", dims))
+	}
+	cost := make([][]float64, n)
+	split := make([][]int, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		split[i] = make([]int, n)
+	}
+	for span := 1; span < n; span++ {
+		for i := 0; i+span < n; i++ {
+			j := i + span
+			best := -1.0
+			for s := i; s < j; s++ {
+				c := cost[i][s] + cost[s+1][j] + 2*float64(dims[i])*float64(dims[s+1])*float64(dims[j+1])
+				if best < 0 || c < best {
+					best = c
+					split[i][j] = s
+				}
+			}
+			cost[i][j] = best
+		}
+	}
+	var render func(i, j int) string
+	render = func(i, j int) string {
+		if i == j {
+			return string(rune('A' + i))
+		}
+		s := split[i][j]
+		return "(" + render(i, s) + render(s+1, j) + ")"
+	}
+	return cost[0][n-1], render(0, n-1)
+}

@@ -1,0 +1,132 @@
+// Package expr defines the linear algebra expressions the paper studies
+// and enumerates their mathematically equivalent algorithms.
+//
+// An algorithm is a sequence of kernel calls (lamb/internal/kernels) that
+// evaluates the expression for a concrete instance (an assignment of
+// sizes to the expression's dimensions). The two expressions from the
+// paper are provided — the matrix chain ABCD with its 6 GEMM-only
+// algorithms (Figure 3) and AAᵀB with its 5 algorithms over GEMM, SYRK,
+// and SYMM (Figure 5) — together with a general n-term matrix chain
+// enumerator and the classic dynamic-programming minimum-FLOPs baseline.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"lamb/internal/kernels"
+)
+
+// Instance assigns concrete sizes to an expression's dimensions
+// (d0, d1, ... in the paper's notation).
+type Instance []int
+
+// String renders the instance as "(d0,d1,...)".
+func (in Instance) String() string {
+	parts := make([]string, len(in))
+	for i, d := range in {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Clone returns an independent copy of the instance.
+func (in Instance) Clone() Instance {
+	out := make(Instance, len(in))
+	copy(out, in)
+	return out
+}
+
+// Shape is the dimensions of one operand.
+type Shape struct {
+	Rows, Cols int
+}
+
+// Algorithm is one mathematically equivalent evaluation of an expression
+// for a concrete instance: an ordered sequence of kernel calls plus the
+// shapes of every operand involved.
+type Algorithm struct {
+	// Index is the paper's 1-based algorithm number.
+	Index int
+	// Name describes the call sequence, e.g. "M1:=A·B; M2:=M1·C; X:=M2·D".
+	Name string
+	// Calls is the kernel sequence, executed in order.
+	Calls []kernels.Call
+	// Shapes maps every operand ID (inputs, temporaries, output) to its
+	// shape.
+	Shapes map[string]Shape
+	// Inputs lists the expression's input operand IDs.
+	Inputs []string
+	// SPDInputs lists the inputs that must be symmetric positive
+	// definite (e.g. the regulariser of the least-squares expression);
+	// executors materialise these accordingly.
+	SPDInputs []string
+	// Output is the ID of the final result.
+	Output string
+}
+
+// Flops returns the algorithm's total FLOP count — the discriminant the
+// paper evaluates.
+func (a *Algorithm) Flops() float64 {
+	var s float64
+	for _, c := range a.Calls {
+		s += c.Flops()
+	}
+	return s
+}
+
+// Validate checks internal consistency: every call validates, every
+// operand mentioned has a shape, and call dimensions agree with operand
+// shapes.
+func (a *Algorithm) Validate() error {
+	if len(a.Calls) == 0 {
+		return fmt.Errorf("expr: algorithm %q has no calls", a.Name)
+	}
+	for i, c := range a.Calls {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("expr: algorithm %q call %d: %w", a.Name, i, err)
+		}
+		ids := append([]string{c.Out}, c.In...)
+		for _, id := range ids {
+			if _, ok := a.Shapes[id]; !ok {
+				return fmt.Errorf("expr: algorithm %q call %d references unknown operand %q", a.Name, i, id)
+			}
+		}
+		out := a.Shapes[c.Out]
+		if out.Rows != c.M || out.Cols != c.N {
+			return fmt.Errorf("expr: algorithm %q call %d output %q is %dx%d, call writes %dx%d",
+				a.Name, i, c.Out, out.Rows, out.Cols, c.M, c.N)
+		}
+	}
+	if _, ok := a.Shapes[a.Output]; !ok {
+		return fmt.Errorf("expr: algorithm %q output %q has no shape", a.Name, a.Output)
+	}
+	return nil
+}
+
+// Expression is a family of problem instances together with its set of
+// mathematically equivalent algorithms.
+type Expression interface {
+	// Name identifies the expression (e.g. "chain-ABCD", "AATB").
+	Name() string
+	// Arity is the number of dimension parameters of an instance.
+	Arity() int
+	// Algorithms enumerates the algorithm set for the given instance.
+	// The returned slice is freshly allocated and ordered by the paper's
+	// algorithm numbering where one exists.
+	Algorithms(inst Instance) []Algorithm
+	// Validate reports whether inst is a well-formed instance.
+	Validate(inst Instance) error
+}
+
+func validateDims(name string, arity int, inst Instance) error {
+	if len(inst) != arity {
+		return fmt.Errorf("expr: %s instance %v has %d dims, want %d", name, inst, len(inst), arity)
+	}
+	for i, d := range inst {
+		if d <= 0 {
+			return fmt.Errorf("expr: %s instance %v has non-positive d%d", name, inst, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package expr
+
+import "lamb/internal/kernels"
+
+// LstSq is the regularised least-squares (normal equations) expression
+//
+//	X := (A·Aᵀ + R)⁻¹ · A · B
+//
+// with A ∈ ℝ^{d0×d1}, B ∈ ℝ^{d1×d2}, and R ∈ ℝ^{d0×d0} symmetric
+// positive definite. An instance is the tuple (d0, d1, d2).
+//
+// This expression extends the paper's study beyond its two case studies:
+// the paper conjectures (§5) that "anomalies will be even more frequent
+// in more complex expressions" because larger expressions have more
+// equivalent algorithms and involve more kernels. LstSq is the smallest
+// realistic expression that adds LAPACK-level kernels to the mix: its
+// algorithms combine SYRK/GEMM (Gram matrix), a triangular accumulation,
+// a Cholesky factorisation, and two triangular solves — six kernel kinds
+// in total.
+//
+// The algorithm set varies two independent choices:
+//
+//   - the Gram product A·Aᵀ uses SYRK (half the FLOPs) or GEMM;
+//   - the right-hand side M := A·B is computed before or after the
+//     factorisation pipeline (identical FLOPs, different inter-kernel
+//     cache behaviour — the analogue of the paper's chain Algorithms 2
+//     and 5).
+//
+// yielding four algorithms. Algorithms 1–2 (SYRK) tie for the minimum
+// FLOP count, exactly as the paper's AAᵀB Algorithms 1–2 do.
+type LstSq struct{}
+
+// NewLstSq returns the regularised least-squares expression.
+func NewLstSq() LstSq { return LstSq{} }
+
+// Name implements Expression.
+func (LstSq) Name() string { return "lstsq" }
+
+// Arity implements Expression: instances are (d0, d1, d2).
+func (LstSq) Arity() int { return 3 }
+
+// Validate implements Expression.
+func (e LstSq) Validate(inst Instance) error {
+	return validateDims(e.Name(), e.Arity(), inst)
+}
+
+// NumAlgorithms returns 4.
+func (LstSq) NumAlgorithms() int { return 4 }
+
+// Algorithms implements Expression. Operands: A (d0×d1), B (d1×d2), R
+// (d0×d0, SPD), S (the Gram accumulator, factored in place), M (the
+// right-hand side A·B, solved in place into X).
+func (e LstSq) Algorithms(inst Instance) []Algorithm {
+	if err := e.Validate(inst); err != nil {
+		panic(err)
+	}
+	d0, d1, d2 := inst[0], inst[1], inst[2]
+	shapes := func() map[string]Shape {
+		return map[string]Shape{
+			"A": {Rows: d0, Cols: d1},
+			"B": {Rows: d1, Cols: d2},
+			"R": {Rows: d0, Cols: d0},
+			"S": {Rows: d0, Cols: d0},
+			"X": {Rows: d0, Cols: d2},
+		}
+	}
+
+	gramSyrk := kernels.NewSyrk(d0, d1, "A", "S")
+	gramGemm := kernels.NewGemm(d0, d0, d1, "A", "A", "S", false, true)
+	add := kernels.NewAddSym(d0, "S", "R")
+	chol := kernels.NewPotrf(d0, "S")
+	rhs := kernels.NewGemm(d0, d2, d1, "A", "B", "X", false, false)
+	solve1 := kernels.NewTrsm(d0, d2, "S", "X", false)
+	solve2 := kernels.NewTrsm(d0, d2, "S", "X", true)
+
+	mk := func(idx int, name string, calls ...kernels.Call) Algorithm {
+		return Algorithm{
+			Index:     idx,
+			Name:      name,
+			Calls:     calls,
+			Shapes:    shapes(),
+			Inputs:    []string{"A", "B", "R"},
+			SPDInputs: []string{"R"},
+			Output:    "X",
+		}
+	}
+	return []Algorithm{
+		mk(1, "S:=syrk(A·Aᵀ); S+=R; L:=potrf(S); X:=gemm(A·B); trsm(L); trsm(Lᵀ)",
+			gramSyrk, add, chol, rhs, solve1, solve2),
+		mk(2, "X:=gemm(A·B); S:=syrk(A·Aᵀ); S+=R; L:=potrf(S); trsm(L); trsm(Lᵀ)",
+			rhs, gramSyrk, add, chol, solve1, solve2),
+		mk(3, "S:=gemm(A·Aᵀ); S+=R; L:=potrf(S); X:=gemm(A·B); trsm(L); trsm(Lᵀ)",
+			gramGemm, add, chol, rhs, solve1, solve2),
+		mk(4, "X:=gemm(A·B); S:=gemm(A·Aᵀ); S+=R; L:=potrf(S); trsm(L); trsm(Lᵀ)",
+			rhs, gramGemm, add, chol, solve1, solve2),
+	}
+}

@@ -1,0 +1,95 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lamb/internal/kernels"
+	"lamb/internal/xrand"
+)
+
+func TestLstSqEnumeratesFourAlgorithms(t *testing.T) {
+	e := NewLstSq()
+	inst := Instance{120, 500, 80}
+	algs := e.Algorithms(inst)
+	if len(algs) != 4 || e.NumAlgorithms() != 4 {
+		t.Fatalf("got %d algorithms", len(algs))
+	}
+	for i, a := range algs {
+		if err := a.Validate(); err != nil {
+			t.Errorf("algorithm %d invalid: %v", i+1, err)
+		}
+		if len(a.Calls) != 6 {
+			t.Errorf("algorithm %d has %d calls, want 6", i+1, len(a.Calls))
+		}
+		if len(a.SPDInputs) != 1 || a.SPDInputs[0] != "R" {
+			t.Errorf("algorithm %d SPD inputs %v", i+1, a.SPDInputs)
+		}
+	}
+}
+
+func TestLstSqFlopStructure(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		// d0 ≥ 2: at d0 = 1 SYRK's (d0+1)·d0·d1 equals GEMM's 2·d0²·d1.
+		inst := Instance{rng.IntRange(2, 600), rng.IntRange(1, 600), rng.IntRange(1, 600)}
+		algs := NewLstSq().Algorithms(inst)
+		// Order variants tie exactly; SYRK variants strictly cheaper.
+		if algs[0].Flops() != algs[1].Flops() || algs[2].Flops() != algs[3].Flops() {
+			return false
+		}
+		return algs[0].Flops() < algs[2].Flops()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLstSqFlopFormula(t *testing.T) {
+	// Closed form for algorithm 1: syrk + addsym + potrf + gemm(AB) +
+	// 2×trsm.
+	d0, d1, d2 := 100.0, 300.0, 40.0
+	want := (d0+1)*d0*d1 + // syrk
+		d0*(d0+1)/2 + // addsym
+		d0*(d0+1)*(2*d0+1)/6 + // potrf (exact integer Cholesky count)
+		2*d0*d1*d2 + // gemm A·B
+		2*d0*d0*d2 // two trsms
+	algs := NewLstSq().Algorithms(Instance{100, 300, 40})
+	if got := algs[0].Flops(); got != want {
+		t.Fatalf("algorithm 1 flops = %v, want %v", got, want)
+	}
+}
+
+func TestLstSqUsesSixKernelKinds(t *testing.T) {
+	algs := NewLstSq().Algorithms(Instance{50, 60, 70})
+	kinds := map[kernels.Kind]bool{}
+	for _, a := range algs {
+		for _, c := range a.Calls {
+			kinds[c.Kind] = true
+		}
+	}
+	for _, want := range []kernels.Kind{kernels.Syrk, kernels.Gemm, kernels.AddSym, kernels.Potrf, kernels.Trsm} {
+		if !kinds[want] {
+			t.Errorf("kernel kind %v unused", want)
+		}
+	}
+}
+
+func TestLstSqOrderVariantsDifferInFirstCall(t *testing.T) {
+	algs := NewLstSq().Algorithms(Instance{50, 60, 70})
+	if algs[0].Calls[0].Kind != kernels.Syrk || algs[1].Calls[0].Kind != kernels.Gemm {
+		t.Fatal("order variants should differ in the first call")
+	}
+	if algs[0].Flops() != algs[1].Flops() {
+		t.Fatal("order variants must tie on FLOPs")
+	}
+}
+
+func TestLstSqValidateRejects(t *testing.T) {
+	if err := NewLstSq().Validate(Instance{1, 2}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := NewLstSq().Validate(Instance{1, 0, 2}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lamb/internal/xrand"
+)
+
+// Tests for the extended kernel kinds (POTRF, TRSM, AddSym).
+
+func TestExtendedFlopFormulas(t *testing.T) {
+	cases := []struct {
+		call Call
+		want float64
+	}{
+		// Exact integer Cholesky count n(n+1)(2n+1)/6.
+		{NewPotrf(10, "S"), 10 * 11 * 21 / 6},
+		{NewTrsm(10, 20, "L", "B", false), 10 * 10 * 20},
+		{NewTrsm(10, 20, "L", "B", true), 10 * 10 * 20},
+		{NewAddSym(10, "S", "R"), 10 * 11 / 2},
+	}
+	for _, c := range cases {
+		if got := c.call.Flops(); got != c.want {
+			t.Errorf("%s Flops = %v, want %v", c.call, got, c.want)
+		}
+	}
+}
+
+func TestPotrfFlopsMatchCountedOps(t *testing.T) {
+	// Count the multiply-adds, divisions, and square roots of the
+	// unblocked Cholesky: sum over j of (1 sqrt + (n-j-1) divs +
+	// 2*(sum over the triangle updates)) — the standard total is
+	// n³/3 + n²/2 + n/6 flops.
+	counted := func(n int) float64 {
+		ops := 0
+		for j := 0; j < n; j++ {
+			ops += 2*j + 1 // diagonal: j multiply-adds ×2, one sqrt
+			for i := j + 1; i < n; i++ {
+				ops += 2*j + 1 // row update: j MAs ×2, one division
+			}
+		}
+		return float64(ops)
+	}
+	for _, n := range []int{1, 2, 5, 17, 40} {
+		want := counted(n)
+		if got := NewPotrf(n, "S").Flops(); got != want {
+			t.Fatalf("potrf(%d) formula %v != counted %v", n, got, want)
+		}
+	}
+}
+
+func TestTrsmFlopsMatchCountedOps(t *testing.T) {
+	// Forward substitution: per column, sum over i of (2i + 1) ops.
+	counted := func(m, n int) float64 {
+		ops := 0
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				ops += 2*i + 1
+			}
+		}
+		return float64(ops)
+	}
+	for _, sh := range [][2]int{{1, 1}, {5, 3}, {20, 7}} {
+		m, n := sh[0], sh[1]
+		want := counted(m, n)
+		got := NewTrsm(m, n, "L", "B", false).Flops()
+		// The m²n convention counts 2 flops per inner term but no
+		// divisions; the exact count is m²n (m(m-1) MAs + m divs per
+		// column = m² ops per column).
+		if got != want {
+			t.Fatalf("trsm(%d,%d) formula %v != counted %v", m, n, got, want)
+		}
+	}
+}
+
+func TestExtendedValidate(t *testing.T) {
+	good := []Call{
+		NewPotrf(5, "S"),
+		NewTrsm(5, 3, "L", "B", true),
+		NewAddSym(5, "S", "R"),
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c, err)
+		}
+	}
+	bad := []Call{
+		{Kind: Potrf, M: 5, N: 4, In: []string{"S"}, Out: "S"},
+		{Kind: Potrf, M: 5, N: 5, In: []string{"S"}, Out: "T"}, // not in place
+		{Kind: Trsm, M: 5, N: 0, In: []string{"L", "B"}, Out: "B"},
+		{Kind: Trsm, M: 5, N: 3, In: []string{"L", "B"}, Out: "X"}, // not in place
+		{Kind: AddSym, M: 5, N: 5, In: []string{"S", "R"}, Out: "R"},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad call %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestExtendedKindStrings(t *testing.T) {
+	want := map[Kind]string{Potrf: "potrf", Trsm: "trsm", AddSym: "addsym"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind %v String = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestExtendedFlopsIntegerValued(t *testing.T) {
+	// All FLOP counts must be exactly integer-valued so algorithm ties
+	// stay exact under float summation.
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		m, n := rng.IntRange(1, 3000), rng.IntRange(1, 3000)
+		for _, c := range []Call{
+			NewPotrf(m, "S"),
+			NewTrsm(m, n, "L", "B", false),
+			NewAddSym(m, "S", "R"),
+		} {
+			fl := c.Flops()
+			if fl != float64(int64(fl)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtendedBytesPositive(t *testing.T) {
+	for _, c := range []Call{
+		NewPotrf(5, "S"),
+		NewTrsm(5, 3, "L", "B", false),
+		NewAddSym(5, "S", "R"),
+	} {
+		if c.Bytes() <= 0 {
+			t.Errorf("%s Bytes = %v", c, c.Bytes())
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package kernels models the BLAS kernel invocations from which all
+// algorithms in this repository are composed.
+//
+// The paper (§3.1) builds every algorithm from three level-3 BLAS kernels
+// — GEMM, SYRK, and SYMM — plus one data-movement step (copying a
+// triangle computed by SYRK to the opposite triangle so a subsequent GEMM
+// can consume a full matrix). A Call records the kernel kind, its problem
+// dimensions, and the logical operands it reads and writes; the FLOP
+// counts attached to each kind are exactly the ones the paper uses as the
+// selection discriminant.
+package kernels
+
+import "fmt"
+
+// Kind identifies a kernel.
+type Kind int
+
+const (
+	// Gemm computes C := A·B with A (M×K) and B (K×N), costing 2MNK FLOPs.
+	Gemm Kind = iota
+	// Syrk computes one triangle of C := A·Aᵀ with A (M×K), costing
+	// (M+1)·M·K FLOPs.
+	Syrk
+	// Symm computes C := A·B with A (M×M) symmetric and B (M×N), costing
+	// 2M²N FLOPs.
+	Symm
+	// Tri2Full mirrors one triangle of an M×M matrix onto the other; it
+	// performs no floating-point operations but moves memory. It is the
+	// copy step of the paper's AAᵀB Algorithm 2.
+	Tri2Full
+	// Potrf computes the Cholesky factorisation L·Lᵀ of an M×M symmetric
+	// positive definite matrix in place, costing M(M+1)(2M+1)/6 ≈ M³/3
+	// FLOPs. Used by the
+	// least-squares expression that extends the paper's study to a
+	// LAPACK-level kernel mix (the paper's "more complex expressions"
+	// conjecture).
+	Potrf
+	// Trsm solves op(L)·X = B in place with L triangular M×M and B M×N,
+	// costing M²·N FLOPs.
+	Trsm
+	// AddSym adds one triangle of an M×M matrix onto another in place
+	// (S := S + R), costing M(M+1)/2 FLOPs.
+	AddSym
+	numKinds = iota
+)
+
+// NumKinds is the number of kernel kinds.
+const NumKinds = int(numKinds)
+
+// String returns the lowercase BLAS-style kernel name.
+func (k Kind) String() string {
+	switch k {
+	case Gemm:
+		return "gemm"
+	case Syrk:
+		return "syrk"
+	case Symm:
+		return "symm"
+	case Tri2Full:
+		return "tri2full"
+	case Potrf:
+		return "potrf"
+	case Trsm:
+		return "trsm"
+	case AddSym:
+		return "addsym"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Call describes one kernel invocation: the kernel kind, the problem
+// dimensions, transposition flags, and the logical operands involved.
+//
+// Dimension conventions per kind (all operands are float64, column-major):
+//
+//	Gemm:     C (M×N) := op(A) (M×K) · op(B) (K×N)
+//	Syrk:     C (M×M) := A·Aᵀ with A (M×K); K is the inner dimension; N=M
+//	Symm:     C (M×N) := A·B with A (M×M) symmetric; K=M
+//	Tri2Full: C (M×M) triangle mirror; N=M, K=0
+type Call struct {
+	Kind Kind
+	// M, N, K are the problem dimensions in the conventions above.
+	M, N, K int
+	// TransA and TransB request transposed reads of the inputs (only
+	// meaningful for Gemm; the dimensions M, N, K always refer to the
+	// logical, post-transposition product).
+	TransA, TransB bool
+	// In lists the IDs of the logical operands read by the call, in
+	// argument order (e.g. ["A", "B"] for C := A·B). Syrk reads one
+	// operand; Tri2Full reads none beyond its in/out operand.
+	In []string
+	// Out is the ID of the operand written by the call.
+	Out string
+}
+
+// NewGemm returns a GEMM call C := op(A)·op(B), where the product is
+// m×n with inner dimension k.
+func NewGemm(m, n, k int, a, b, c string, transA, transB bool) Call {
+	return Call{Kind: Gemm, M: m, N: n, K: k, TransA: transA, TransB: transB, In: []string{a, b}, Out: c}
+}
+
+// NewSyrk returns a SYRK call C := A·Aᵀ with A m×k, producing one
+// triangle of the m×m result.
+func NewSyrk(m, k int, a, c string) Call {
+	return Call{Kind: Syrk, M: m, N: m, K: k, In: []string{a}, Out: c}
+}
+
+// NewSymm returns a SYMM call C := A·B with A m×m symmetric, B m×n.
+func NewSymm(m, n int, a, b, c string) Call {
+	return Call{Kind: Symm, M: m, N: n, K: m, In: []string{a, b}, Out: c}
+}
+
+// NewTri2Full returns a triangle-mirroring call on the m×m operand c.
+func NewTri2Full(m int, c string) Call {
+	return Call{Kind: Tri2Full, M: m, N: m, In: []string{c}, Out: c}
+}
+
+// NewPotrf returns an in-place Cholesky factorisation of the m×m SPD
+// operand s.
+func NewPotrf(m int, s string) Call {
+	return Call{Kind: Potrf, M: m, N: m, In: []string{s}, Out: s}
+}
+
+// NewTrsm returns an in-place triangular solve op(L)·X = B with L m×m
+// and B m×n; trans selects Lᵀ.
+func NewTrsm(m, n int, l, b string, trans bool) Call {
+	return Call{Kind: Trsm, M: m, N: n, TransA: trans, In: []string{l, b}, Out: b}
+}
+
+// NewAddSym returns the in-place triangular accumulation c := c + a for
+// m×m symmetric operands.
+func NewAddSym(m int, c, a string) Call {
+	return Call{Kind: AddSym, M: m, N: m, In: []string{c, a}, Out: c}
+}
+
+// Flops returns the FLOP count the paper attributes to the call (§3.1).
+// Tri2Full performs zero floating-point operations; this is precisely why
+// the paper's Algorithms 1 and 2 for AAᵀB share a FLOP count while
+// differing in execution time.
+func (c Call) Flops() float64 {
+	m, n, k := float64(c.M), float64(c.N), float64(c.K)
+	switch c.Kind {
+	case Gemm:
+		return 2 * m * n * k
+	case Syrk:
+		return (m + 1) * m * k
+	case Symm:
+		return 2 * m * m * n
+	case Tri2Full:
+		return 0
+	case Potrf:
+		// Exact Cholesky count n³/3 + n²/2 + n/6 = n(n+1)(2n+1)/6: an
+		// integer, so FLOP ties between algorithms that share the
+		// factorisation stay exact under floating-point summation.
+		return m * (m + 1) * (2*m + 1) / 6
+	case Trsm:
+		return m * m * n
+	case AddSym:
+		return m * (m + 1) / 2
+	default:
+		panic(fmt.Sprintf("kernels: Flops of unknown kind %v", c.Kind))
+	}
+}
+
+// Bytes returns an estimate of the call's cold-cache memory traffic in
+// bytes: each input operand read once and the output read and written
+// once (8 bytes per float64). Triangular operands count half. This feeds
+// the simulated machine's inter-kernel cache model and the arithmetic-
+// intensity estimate; it is not meant to model blocked re-reads.
+func (c Call) Bytes() float64 {
+	const w = 8.0
+	m, n, k := float64(c.M), float64(c.N), float64(c.K)
+	switch c.Kind {
+	case Gemm:
+		return w * (m*k + k*n + 2*m*n)
+	case Syrk:
+		// Read A (m×k), read+write one triangle of C.
+		return w * (m*k + m*(m+1))
+	case Symm:
+		// Read one triangle of A, read B, read+write C.
+		return w * (m*(m+1)/2 + m*n + 2*m*n)
+	case Tri2Full:
+		// Read one strict triangle, write the other.
+		return w * (m * (m - 1))
+	case Potrf:
+		// Read and write one triangle in place.
+		return w * (m * (m + 1))
+	case Trsm:
+		// Read the triangle of L, read and write B.
+		return w * (m*(m+1)/2 + 2*m*n)
+	case AddSym:
+		// Read both triangles, write one.
+		return w * (1.5 * m * (m + 1))
+	default:
+		panic(fmt.Sprintf("kernels: Bytes of unknown kind %v", c.Kind))
+	}
+}
+
+// Intensity returns the call's arithmetic intensity in FLOPs per byte of
+// cold traffic. Tri2Full has intensity zero.
+func (c Call) Intensity() float64 {
+	b := c.Bytes()
+	if b == 0 {
+		return 0
+	}
+	return c.Flops() / b
+}
+
+// String renders the call compactly, e.g. "gemm(m=10,n=20,k=30)".
+func (c Call) String() string {
+	s := fmt.Sprintf("%v(m=%d,n=%d,k=%d", c.Kind, c.M, c.N, c.K)
+	if c.TransA {
+		s += ",Aᵀ"
+	}
+	if c.TransB {
+		s += ",Bᵀ"
+	}
+	return s + ")"
+}
+
+// Key returns a comparable identity for benchmark memoisation: two calls
+// with equal keys have identical performance characteristics (same kind,
+// dimensions, and transposition pattern), regardless of operand IDs.
+type Key struct {
+	Kind           Kind
+	M, N, K        int
+	TransA, TransB bool
+}
+
+// Key returns the call's memoisation key.
+func (c Call) MemoKey() Key {
+	return Key{Kind: c.Kind, M: c.M, N: c.N, K: c.K, TransA: c.TransA, TransB: c.TransB}
+}
+
+// Validate checks that the call's dimensions are positive and consistent
+// with its kind.
+func (c Call) Validate() error {
+	switch c.Kind {
+	case Gemm:
+		if c.M <= 0 || c.N <= 0 || c.K <= 0 {
+			return fmt.Errorf("kernels: gemm with non-positive dims %s", c)
+		}
+		if len(c.In) != 2 {
+			return fmt.Errorf("kernels: gemm needs 2 inputs, has %d", len(c.In))
+		}
+	case Syrk:
+		if c.M <= 0 || c.K <= 0 {
+			return fmt.Errorf("kernels: syrk with non-positive dims %s", c)
+		}
+		if c.N != c.M {
+			return fmt.Errorf("kernels: syrk with N %d != M %d", c.N, c.M)
+		}
+		if len(c.In) != 1 {
+			return fmt.Errorf("kernels: syrk needs 1 input, has %d", len(c.In))
+		}
+	case Symm:
+		if c.M <= 0 || c.N <= 0 {
+			return fmt.Errorf("kernels: symm with non-positive dims %s", c)
+		}
+		if c.K != c.M {
+			return fmt.Errorf("kernels: symm with K %d != M %d", c.K, c.M)
+		}
+	case Tri2Full:
+		if c.M <= 0 || c.N != c.M {
+			return fmt.Errorf("kernels: tri2full with bad dims %s", c)
+		}
+	case Potrf:
+		if c.M <= 0 || c.N != c.M {
+			return fmt.Errorf("kernels: potrf with bad dims %s", c)
+		}
+		if len(c.In) != 1 || c.In[0] != c.Out {
+			return fmt.Errorf("kernels: potrf must factor in place, got %s", c)
+		}
+	case Trsm:
+		if c.M <= 0 || c.N <= 0 {
+			return fmt.Errorf("kernels: trsm with non-positive dims %s", c)
+		}
+		if len(c.In) != 2 || c.In[1] != c.Out {
+			return fmt.Errorf("kernels: trsm must solve in place, got %s", c)
+		}
+	case AddSym:
+		if c.M <= 0 || c.N != c.M {
+			return fmt.Errorf("kernels: addsym with bad dims %s", c)
+		}
+		if len(c.In) != 2 || c.In[0] != c.Out {
+			return fmt.Errorf("kernels: addsym must accumulate in place, got %s", c)
+		}
+	default:
+		return fmt.Errorf("kernels: unknown kind %d", int(c.Kind))
+	}
+	if c.Out == "" {
+		return fmt.Errorf("kernels: call %s has no output operand", c)
+	}
+	return nil
+}

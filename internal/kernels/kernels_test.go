@@ -1,0 +1,191 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lamb/internal/xrand"
+)
+
+func TestFlopsFormulas(t *testing.T) {
+	// The exact formulas from paper §3.1.
+	cases := []struct {
+		call Call
+		want float64
+	}{
+		{NewGemm(10, 20, 30, "A", "B", "C", false, false), 2 * 10 * 20 * 30},
+		{NewSyrk(10, 30, "A", "C"), (10 + 1) * 10 * 30},
+		{NewSymm(10, 20, "A", "B", "C"), 2 * 10 * 10 * 20},
+		{NewTri2Full(50, "C"), 0},
+	}
+	for _, c := range cases {
+		if got := c.call.Flops(); got != c.want {
+			t.Errorf("%s Flops = %v, want %v", c.call, got, c.want)
+		}
+	}
+}
+
+func TestFlopsMatchBruteForceCounts(t *testing.T) {
+	// Count multiply-and-add pairs of the textbook algorithms and compare
+	// with the closed-form FLOP formulas.
+	gemmOps := func(m, n, k int) float64 {
+		// m*n dot products of length k, 2 flops per term.
+		count := 0
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				count += 2 * k
+			}
+		}
+		return float64(count)
+	}
+	syrkOps := func(m, k int) float64 {
+		// Lower triangle including diagonal: m(m+1)/2 entries, 2k flops each.
+		count := 0
+		for i := 0; i < m; i++ {
+			for j := 0; j <= i; j++ {
+				count += 2 * k
+			}
+		}
+		return float64(count)
+	}
+	rng := xrand.New(99)
+	for trial := 0; trial < 30; trial++ {
+		m, n, k := rng.IntRange(1, 40), rng.IntRange(1, 40), rng.IntRange(1, 40)
+		if got, want := NewGemm(m, n, k, "A", "B", "C", false, false).Flops(), gemmOps(m, n, k); got != want {
+			t.Fatalf("gemm(%d,%d,%d) formula %v != counted %v", m, n, k, got, want)
+		}
+		if got, want := NewSyrk(m, k, "A", "C").Flops(), syrkOps(m, k); got != want {
+			t.Fatalf("syrk(%d,%d) formula %v != counted %v", m, k, got, want)
+		}
+		// SYMM cost is that of a GEMM with square A: 2*m*m*n.
+		if got, want := NewSymm(m, n, "A", "B", "C").Flops(), gemmOps(m, n, m); got != want {
+			t.Fatalf("symm(%d,%d) formula %v != counted %v", m, n, got, want)
+		}
+	}
+}
+
+func TestSyrkHalvesGemmAsymptotically(t *testing.T) {
+	// SYRK computes one triangle, so for the same m×m·k product it costs
+	// (m+1)mk vs GEMM's 2m²k — the ratio tends to 1/2 from above.
+	syrk := NewSyrk(1000, 500, "A", "C").Flops()
+	gemm := NewGemm(1000, 1000, 500, "A", "At", "C", false, false).Flops()
+	ratio := syrk / gemm
+	if ratio <= 0.5 || ratio > 0.51 {
+		t.Fatalf("syrk/gemm ratio = %v, want in (0.5, 0.51]", ratio)
+	}
+}
+
+func TestBytesPositive(t *testing.T) {
+	calls := []Call{
+		NewGemm(5, 6, 7, "A", "B", "C", false, false),
+		NewSyrk(5, 7, "A", "C"),
+		NewSymm(5, 6, "A", "B", "C"),
+		NewTri2Full(5, "C"),
+	}
+	for _, c := range calls {
+		if c.Bytes() <= 0 {
+			t.Errorf("%s Bytes = %v, want > 0", c, c.Bytes())
+		}
+	}
+}
+
+func TestIntensityGrowsWithSize(t *testing.T) {
+	small := NewGemm(20, 20, 20, "A", "B", "C", false, false).Intensity()
+	large := NewGemm(1000, 1000, 1000, "A", "B", "C", false, false).Intensity()
+	if large <= small {
+		t.Fatalf("intensity should grow with size: small %v, large %v", small, large)
+	}
+	if NewTri2Full(100, "C").Intensity() != 0 {
+		t.Fatal("tri2full intensity must be 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{Gemm: "gemm", Syrk: "syrk", Symm: "symm", Tri2Full: "tri2full"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind %d String = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if !strings.HasPrefix(Kind(99).String(), "Kind(") {
+		t.Error("unknown kind should render as Kind(n)")
+	}
+}
+
+func TestCallString(t *testing.T) {
+	c := NewGemm(1, 2, 3, "A", "B", "C", true, false)
+	s := c.String()
+	if !strings.Contains(s, "gemm") || !strings.Contains(s, "m=1") || !strings.Contains(s, "Aᵀ") {
+		t.Errorf("String = %q", s)
+	}
+	if strings.Contains(s, "Bᵀ") {
+		t.Errorf("String = %q should not mention Bᵀ", s)
+	}
+}
+
+func TestMemoKeyIgnoresOperandIDs(t *testing.T) {
+	a := NewGemm(3, 4, 5, "A", "B", "C", false, true)
+	b := NewGemm(3, 4, 5, "X", "Y", "Z", false, true)
+	if a.MemoKey() != b.MemoKey() {
+		t.Fatal("keys should match regardless of operand IDs")
+	}
+	c := NewGemm(3, 4, 5, "A", "B", "C", true, true)
+	if a.MemoKey() == c.MemoKey() {
+		t.Fatal("keys should differ on transposition")
+	}
+}
+
+func TestValidateAcceptsConstructors(t *testing.T) {
+	calls := []Call{
+		NewGemm(5, 6, 7, "A", "B", "C", true, true),
+		NewSyrk(5, 7, "A", "C"),
+		NewSymm(5, 6, "A", "B", "C"),
+		NewTri2Full(5, "C"),
+	}
+	for _, c := range calls {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s Validate: %v", c, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadCalls(t *testing.T) {
+	bad := []Call{
+		{Kind: Gemm, M: 0, N: 1, K: 1, In: []string{"A", "B"}, Out: "C"},
+		{Kind: Gemm, M: 1, N: 1, K: 1, In: []string{"A"}, Out: "C"},
+		{Kind: Syrk, M: 4, N: 5, K: 3, In: []string{"A"}, Out: "C"},
+		{Kind: Syrk, M: 4, N: 4, K: 3, In: []string{"A", "B"}, Out: "C"},
+		{Kind: Symm, M: 4, N: 5, K: 3, In: []string{"A", "B"}, Out: "C"},
+		{Kind: Tri2Full, M: 4, N: 5, In: []string{"C"}, Out: "C"},
+		{Kind: Gemm, M: 1, N: 1, K: 1, In: []string{"A", "B"}, Out: ""},
+		{Kind: Kind(77), M: 1, N: 1, K: 1, Out: "C"},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%s): Validate accepted invalid call", i, c)
+		}
+	}
+}
+
+func TestFlopsNonNegativeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		m, n, k := rng.IntRange(1, 2000), rng.IntRange(1, 2000), rng.IntRange(1, 2000)
+		calls := []Call{
+			NewGemm(m, n, k, "A", "B", "C", false, false),
+			NewSyrk(m, k, "A", "C"),
+			NewSymm(m, n, "A", "B", "C"),
+			NewTri2Full(m, "C"),
+		}
+		for _, c := range calls {
+			if c.Flops() < 0 || c.Bytes() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

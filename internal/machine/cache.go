@@ -1,0 +1,134 @@
+package machine
+
+import "lamb/internal/kernels"
+
+// CacheState tracks which logical operands are resident in the simulated
+// last-level cache. The executor carries one CacheState per algorithm
+// repetition: it is flushed at the start (matching the paper's cache
+// flush before each repetition) and updated after every call, so later
+// calls in a sequence observe the inter-kernel cache effects that
+// Experiment 3 isolates.
+//
+// The model is a simple LRU over whole operands: after a call, its output
+// and inputs are the most recently used; older content is evicted once
+// the configured capacity is exceeded.
+type CacheState struct {
+	capacity float64
+	// entries is most-recent-first; hot holds resident byte counts.
+	entries []string
+	hot     map[string]float64
+}
+
+// NewCacheState returns an empty cache state with the machine's LLC
+// capacity.
+func (m *Machine) NewCacheState() *CacheState {
+	return &CacheState{capacity: m.cfg.LLCBytes, hot: make(map[string]float64)}
+}
+
+// Flush empties the cache (the paper flushes before each repetition).
+func (s *CacheState) Flush() {
+	s.entries = s.entries[:0]
+	clear(s.hot)
+}
+
+// operandTouch returns the (id, bytes) pairs a call reads (ins) and the
+// pair it writes (out). Triangular accesses count half the square.
+func operandTouch(c kernels.Call) (ins []operandBytes, out operandBytes) {
+	const w = 8.0
+	m, n, k := float64(c.M), float64(c.N), float64(c.K)
+	switch c.Kind {
+	case kernels.Gemm:
+		ins = []operandBytes{
+			{c.In[0], w * m * k},
+			{c.In[1], w * k * n},
+		}
+		out = operandBytes{c.Out, w * m * n}
+	case kernels.Syrk:
+		ins = []operandBytes{{c.In[0], w * m * k}}
+		out = operandBytes{c.Out, w * m * (m + 1) / 2}
+	case kernels.Symm:
+		ins = []operandBytes{
+			{c.In[0], w * m * (m + 1) / 2},
+			{c.In[1], w * m * n},
+		}
+		out = operandBytes{c.Out, w * m * n}
+	case kernels.Tri2Full:
+		ins = []operandBytes{{c.In[0], w * m * m / 2}}
+		out = operandBytes{c.Out, w * m * m}
+	case kernels.Potrf:
+		ins = []operandBytes{{c.In[0], w * m * (m + 1) / 2}}
+		out = operandBytes{c.Out, w * m * (m + 1) / 2}
+	case kernels.Trsm:
+		ins = []operandBytes{
+			{c.In[0], w * m * (m + 1) / 2},
+			{c.In[1], w * m * n},
+		}
+		out = operandBytes{c.Out, w * m * n}
+	case kernels.AddSym:
+		ins = []operandBytes{
+			{c.In[0], w * m * (m + 1) / 2},
+			{c.In[1], w * m * (m + 1) / 2},
+		}
+		out = operandBytes{c.Out, w * m * (m + 1) / 2}
+	default:
+		panic("machine: operandTouch of unknown kind")
+	}
+	return ins, out
+}
+
+type operandBytes struct {
+	id    string
+	bytes float64
+}
+
+// HotFraction returns the fraction of the call's input bytes currently
+// resident in the cache, in [0, 1].
+func (s *CacheState) HotFraction(c kernels.Call) float64 {
+	ins, _ := operandTouch(c)
+	var need, have float64
+	for _, ob := range ins {
+		need += ob.bytes
+		if res, ok := s.hot[ob.id]; ok {
+			have += min(res, ob.bytes)
+		}
+	}
+	if need == 0 {
+		return 0
+	}
+	return have / need
+}
+
+// Record updates the cache state after a call executes: the output is
+// most recently used, then the inputs, then prior content; entries beyond
+// capacity are evicted.
+func (s *CacheState) Record(c kernels.Call) {
+	ins, out := operandTouch(c)
+	touched := make([]operandBytes, 0, len(ins)+1)
+	touched = append(touched, out)
+	touched = append(touched, ins...)
+
+	// Rebuild the LRU list: touched operands first, then survivors.
+	newEntries := make([]string, 0, len(s.entries)+len(touched))
+	newHot := make(map[string]float64, len(touched)+len(s.entries))
+	var used float64
+	add := func(id string, bytes float64) {
+		if _, seen := newHot[id]; seen {
+			return
+		}
+		if used >= s.capacity {
+			return
+		}
+		res := min(bytes, s.capacity-used)
+		newHot[id] = res
+		newEntries = append(newEntries, id)
+		used += res
+	}
+	for _, ob := range touched {
+		add(ob.id, ob.bytes)
+	}
+	for _, id := range s.entries {
+		add(id, s.hot[id])
+	}
+	s.entries = newEntries
+	s.hot = newHot
+}

@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"testing"
+
+	"lamb/internal/kernels"
+)
+
+// Tests for the extended kernel surfaces (POTRF, TRSM, AddSym), the
+// benchmark-bias model, the partition sawtooth, and the alternative
+// machine configuration.
+
+func TestExtendedKernelOrdering(t *testing.T) {
+	// GEMM must dominate POTRF and TRSM per attributed FLOP at equal
+	// square sizes (factorisations serialise; solves have dependencies).
+	m := NewDefault()
+	for _, s := range []int{100, 300, 800} {
+		g := m.Efficiency(kernels.NewGemm(s, s, s, "A", "B", "C", false, false))
+		p := m.Efficiency(kernels.NewPotrf(s, "S"))
+		tr := m.Efficiency(kernels.NewTrsm(s, s, "L", "B", false))
+		if g <= p || g <= tr {
+			t.Fatalf("size %d: gemm %.3f should dominate potrf %.3f and trsm %.3f", s, g, p, tr)
+		}
+	}
+}
+
+func TestAddSymIsBandwidthBound(t *testing.T) {
+	m := NewDefault()
+	c := kernels.NewAddSym(800, "S", "R")
+	want := m.Config().CallOverhead + c.Bytes()/m.Config().MemBandwidth
+	if got := m.ColdTime(c); got != want {
+		// AddSym has AI ≈ 1/24 flops/byte: the roofline memory term wins.
+		t.Fatalf("addsym cold time %.3g, want bandwidth-bound %.3g", got, want)
+	}
+}
+
+func TestNewKindsHaveFiniteTimes(t *testing.T) {
+	m := NewDefault()
+	calls := []kernels.Call{
+		kernels.NewPotrf(500, "S"),
+		kernels.NewTrsm(500, 100, "L", "B", false),
+		kernels.NewTrsm(500, 100, "L", "B", true),
+		kernels.NewAddSym(500, "S", "R"),
+	}
+	for _, c := range calls {
+		if ct := m.ColdTime(c); !(ct > 0) || ct > 1 {
+			t.Fatalf("%s cold time %v", c, ct)
+		}
+		if tb := m.TimeBench(c, 0); !(tb > 0) {
+			t.Fatalf("%s bench time %v", c, tb)
+		}
+	}
+}
+
+func TestTimeBenchBiasIsPersistent(t *testing.T) {
+	// The per-call benchmark bias must be identical across repetitions
+	// (medians cannot remove it) but vary between call shapes.
+	m := NewDefault()
+	c := kernels.NewSyrk(150, 300, "A", "C")
+	cold := m.ColdTime(c)
+	ratios := map[float64]bool{}
+	for rep := uint64(0); rep < 6; rep++ {
+		tb := m.TimeBench(c, rep)
+		// Strip the rep noise bound: all reps must sit within the noise
+		// band around the *biased* time, i.e. strictly below cold time
+		// (the SYRK bias mean is negative and dominates the noise).
+		if tb >= cold {
+			t.Fatalf("rep %d: biased bench time %.3g not below cold %.3g", rep, tb, cold)
+		}
+		ratios[tb/cold] = true
+	}
+	if len(ratios) < 3 {
+		t.Fatal("rep noise should still vary bench times")
+	}
+}
+
+func TestBenchBiasFadesWithSize(t *testing.T) {
+	// The SYRK bench bias is scaled by 1−r(M/HalfM): strong at small M,
+	// negligible at the plateau.
+	m := NewDefault()
+	rel := func(mdim int) float64 {
+		c := kernels.NewSyrk(mdim, 400, "A", "C")
+		cfg := m.Config()
+		cfg.Noise = 0
+		nm := New(cfg)
+		return nm.TimeBench(c, 0) / nm.ColdTime(c)
+	}
+	small := rel(80)
+	large := rel(2400)
+	if small >= large {
+		t.Fatalf("bias should fade with size: small ratio %.3f, large %.3f", small, large)
+	}
+	if large < 0.95 {
+		t.Fatalf("large-size bias ratio %.3f should approach 1", large)
+	}
+}
+
+func TestPartitionSawtooth(t *testing.T) {
+	// Efficiency dips just above chunk multiples (period Threads×Tile =
+	// 80 on the default machine) and recovers at the next multiple.
+	m := NewDefault()
+	atMultiple := m.Efficiency(kernels.NewGemm(600, 480, 600, "A", "B", "C", false, false))
+	justAbove := m.Efficiency(kernels.NewGemm(600, 490, 600, "A", "B", "C", false, false))
+	if justAbove >= atMultiple {
+		t.Fatalf("sawtooth missing: n=490 eff %.4f should dip below n=480 eff %.4f",
+			justAbove, atMultiple)
+	}
+}
+
+func TestPartitionFactorSmallDimsExempt(t *testing.T) {
+	// Below one chunk the ramps govern; the sawtooth must not apply.
+	cfg := Default()
+	cfg.Noise = 0
+	m := New(cfg)
+	km := &cfg.Kernels[kernels.Gemm]
+	if f := m.partitionFactor(km, kernels.NewGemm(100, 60, 100, "A", "B", "C", false, false)); f != 1 {
+		t.Fatalf("partition factor %v for sub-chunk dim, want 1", f)
+	}
+}
+
+func TestDefaultAltDiffersMeaningfully(t *testing.T) {
+	a := Default()
+	b := DefaultAlt()
+	if a.Name == b.Name {
+		t.Fatal("alt config must be distinguishable")
+	}
+	if b.PeakFlops <= a.PeakFlops || b.Threads <= a.Threads {
+		t.Fatal("alt machine should be wider")
+	}
+	ma, mb := New(a), New(b)
+	// Same call, different efficiency surfaces.
+	c := kernels.NewSyrk(200, 300, "A", "C")
+	if ma.Efficiency(c) == mb.Efficiency(c) {
+		t.Fatal("alt machine should have a different SYRK surface")
+	}
+	// Both remain valid machines.
+	if mb.ColdTime(c) <= 0 {
+		t.Fatal("alt machine produced non-positive time")
+	}
+}
+
+func TestAltMachineMovesAnomalies(t *testing.T) {
+	// A shape that favours the GEMM path on the default machine may not
+	// on the alt machine; at minimum, the relative SYRK/GEMM gap differs.
+	ma, mb := NewDefault(), New(DefaultAlt())
+	syrk := kernels.NewSyrk(120, 500, "A", "C")
+	gemm := kernels.NewGemm(120, 120, 500, "A", "At", "C", false, true)
+	gapA := ma.Efficiency(gemm) / ma.Efficiency(syrk)
+	gapB := mb.Efficiency(gemm) / mb.Efficiency(syrk)
+	if gapA == gapB {
+		t.Fatal("kernel gaps identical across machines")
+	}
+}

@@ -1,0 +1,60 @@
+package mat
+
+import "lamb/internal/xrand"
+
+// FillRandom fills m with uniform values in [-1, 1) drawn from rng.
+// Dense unstructured operands in the paper's experiments are generated
+// this way; only sizes, never element values, affect kernel timing.
+func (m *Dense) FillRandom(rng *xrand.Rand) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for i := range col {
+			col[i] = 2*rng.Float64() - 1
+		}
+	}
+}
+
+// NewRandom returns a new r-by-c matrix filled with uniform values in
+// [-1, 1) drawn from rng.
+func NewRandom(r, c int, rng *xrand.Rand) *Dense {
+	m := New(r, c)
+	m.FillRandom(rng)
+	return m
+}
+
+// NewSPDRandom returns a new well-conditioned random symmetric positive
+// definite n-by-n matrix (G·Gᵀ/n + I with G random), suitable as input
+// to a Cholesky factorisation.
+func NewSPDRandom(n int, rng *xrand.Rand) *Dense {
+	g := NewRandom(n, n, rng)
+	s := New(n, n)
+	inv := 1 / float64(n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			var acc float64
+			for p := 0; p < n; p++ {
+				acc += g.Data[i+p*g.Stride] * g.Data[j+p*g.Stride]
+			}
+			v := acc * inv
+			if i == j {
+				v++
+			}
+			s.Data[i+j*s.Stride] = v
+			s.Data[j+i*s.Stride] = v
+		}
+	}
+	return s
+}
+
+// NewSymmetricRandom returns a new random symmetric n-by-n matrix.
+func NewSymmetricRandom(n int, rng *xrand.Rand) *Dense {
+	m := New(n, n)
+	for j := 0; j < n; j++ {
+		for i := j; i < n; i++ {
+			v := 2*rng.Float64() - 1
+			m.Data[i+j*m.Stride] = v
+			m.Data[j+i*m.Stride] = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,282 @@
+// Package mat provides the dense, column-major matrix substrate used by
+// the BLAS kernels, the executors, and the experiment drivers.
+//
+// Matrices are stored in column-major order (Fortran/BLAS convention):
+// element (i, j) of a matrix with leading dimension (stride) ld lives at
+// Data[i+j*ld]. All kernels in lamb/internal/blas operate on this layout.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense column-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Use New, NewFromSlice, or the
+// fill helpers to create usable matrices.
+type Dense struct {
+	// Rows and Cols are the matrix dimensions.
+	Rows, Cols int
+	// Stride is the leading dimension: the distance in Data between
+	// horizontally adjacent elements (i,j) and (i,j+1). Stride >= Rows.
+	Stride int
+	// Data holds the elements in column-major order. It may be longer
+	// than Rows*Cols for views with Stride > Rows.
+	Data []float64
+}
+
+// New returns a zeroed r-by-c matrix with Stride == r.
+func New(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	// Stride is at least 1 even for empty matrices; size Data accordingly
+	// so column slicing stays in bounds when Rows == 0.
+	stride := max(r, 1)
+	return &Dense{Rows: r, Cols: c, Stride: stride, Data: make([]float64, stride*c)}
+}
+
+// NewFromSlice returns an r-by-c matrix backed by data interpreted in
+// column-major order. The slice is used directly, not copied.
+func NewFromSlice(r, c int, data []float64) *Dense {
+	if len(data) < r*c {
+		panic(fmt.Sprintf("mat: slice of length %d too short for %dx%d", len(data), r, c))
+	}
+	return &Dense{Rows: r, Cols: c, Stride: max(r, 1), Data: data}
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.checkIndex(i, j)
+	return m.Data[i+j*m.Stride]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.checkIndex(i, j)
+	m.Data[i+j*m.Stride] = v
+}
+
+func (m *Dense) checkIndex(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of range for %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// IsView reports whether the matrix is a non-contiguous view (Stride > Rows).
+func (m *Dense) IsView() bool { return m.Stride != m.Rows && !(m.Rows == 0 || m.Cols == 0) }
+
+// Slice returns a view of the submatrix with rows [i0, i1) and columns
+// [j0, j1). The view shares storage with m.
+func (m *Dense) Slice(i0, i1, j0, j1 int) *Dense {
+	if i0 < 0 || i1 < i0 || i1 > m.Rows || j0 < 0 || j1 < j0 || j1 > m.Cols {
+		panic(fmt.Sprintf("mat: bad slice [%d:%d, %d:%d] of %dx%d", i0, i1, j0, j1, m.Rows, m.Cols))
+	}
+	return &Dense{
+		Rows:   i1 - i0,
+		Cols:   j1 - j0,
+		Stride: m.Stride,
+		Data:   m.Data[i0+j0*m.Stride:],
+	}
+}
+
+// Clone returns a compact (Stride == Rows) deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := New(m.Rows, m.Cols)
+	Copy(out, m)
+	return out
+}
+
+// Copy copies src into dst element-wise. The dimensions must match.
+func Copy(dst, src *Dense) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic(fmt.Sprintf("mat: copy dimension mismatch %dx%d <- %dx%d", dst.Rows, dst.Cols, src.Rows, src.Cols))
+	}
+	for j := 0; j < src.Cols; j++ {
+		d := dst.Data[j*dst.Stride : j*dst.Stride+dst.Rows]
+		s := src.Data[j*src.Stride : j*src.Stride+src.Rows]
+		copy(d, s)
+	}
+}
+
+// Zero sets every element of m to zero.
+func (m *Dense) Zero() {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for i := range col {
+			col[i] = 0
+		}
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Dense) Fill(v float64) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for i := range col {
+			col[i] = v
+		}
+	}
+}
+
+// FillFunc sets element (i, j) to f(i, j) for all elements.
+func (m *Dense) FillFunc(f func(i, j int) float64) {
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for i := range col {
+			col[i] = f(i, j)
+		}
+	}
+}
+
+// Transpose returns a new compact matrix holding mᵀ.
+func (m *Dense) Transpose() *Dense {
+	t := New(m.Cols, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			t.Data[j+i*t.Stride] = m.Data[i+j*m.Stride]
+		}
+	}
+	return t
+}
+
+// Equal reports whether a and b have identical dimensions and elements.
+func Equal(a, b *Dense) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			if a.Data[i+j*a.Stride] != b.Data[i+j*b.Stride] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EqualApprox reports whether a and b have identical dimensions and all
+// elements within tol of each other (absolute difference).
+func EqualApprox(a, b *Dense, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			d := a.Data[i+j*a.Stride] - b.Data[i+j*b.Stride]
+			if math.Abs(d) > tol || math.IsNaN(d) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between
+// a and b. It panics on dimension mismatch.
+func MaxAbsDiff(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: diff dimension mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	var m float64
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			d := math.Abs(a.Data[i+j*a.Stride] - b.Data[i+j*b.Stride])
+			if d > m || math.IsNaN(d) {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *Dense) FrobNorm() float64 {
+	var s float64
+	for j := 0; j < m.Cols; j++ {
+		col := m.Data[j*m.Stride : j*m.Stride+m.Rows]
+		for _, v := range col {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// IsSymmetric reports whether m is square and symmetric to within tol.
+func (m *Dense) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for j := 0; j < m.Cols; j++ {
+		for i := j + 1; i < m.Rows; i++ {
+			if math.Abs(m.Data[i+j*m.Stride]-m.Data[j+i*m.Stride]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Uplo selects a triangle of a square matrix.
+type Uplo int
+
+const (
+	// Lower selects the lower triangle (i >= j).
+	Lower Uplo = iota
+	// Upper selects the upper triangle (i <= j).
+	Upper
+)
+
+// String returns "Lower" or "Upper".
+func (u Uplo) String() string {
+	if u == Lower {
+		return "Lower"
+	}
+	return "Upper"
+}
+
+// MirrorTriangle copies the uplo triangle of the square matrix m onto the
+// opposite triangle, making m symmetric. This is the data-movement step
+// the paper's AAᵀB Algorithm 2 performs between SYRK and GEMM.
+func MirrorTriangle(m *Dense, uplo Uplo) {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("mat: MirrorTriangle of non-square %dx%d", m.Rows, m.Cols))
+	}
+	n := m.Rows
+	if uplo == Lower {
+		for j := 0; j < n; j++ {
+			for i := j + 1; i < n; i++ {
+				m.Data[j+i*m.Stride] = m.Data[i+j*m.Stride]
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			m.Data[i+j*m.Stride] = m.Data[j+i*m.Stride]
+		}
+	}
+}
+
+// ZeroTriangle clears the strict opposite triangle of uplo, leaving only
+// the selected triangle (plus the diagonal) populated.
+func ZeroTriangle(m *Dense, keep Uplo) {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("mat: ZeroTriangle of non-square %dx%d", m.Rows, m.Cols))
+	}
+	n := m.Rows
+	if keep == Lower {
+		for j := 0; j < n; j++ {
+			for i := 0; i < j; i++ {
+				m.Data[i+j*m.Stride] = 0
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		for i := j + 1; i < n; i++ {
+			m.Data[i+j*m.Stride] = 0
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lamb/internal/xrand"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 3 {
+		t.Fatalf("New(3,4) = %dx%d stride %d", m.Rows, m.Cols, m.Stride)
+	}
+	for j := 0; j < 4; j++ {
+		for i := 0; i < 3; i++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1, 2) did not panic")
+		}
+	}()
+	New(-1, 2)
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := New(5, 7)
+	m.Set(2, 3, 42.5)
+	if got := m.At(2, 3); got != 42.5 {
+		t.Fatalf("At(2,3) = %v, want 42.5", got)
+	}
+	// Column-major layout: (2,3) lives at index 2+3*5.
+	if m.Data[2+3*5] != 42.5 {
+		t.Fatal("value not stored column-major")
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	m := New(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestNewFromSlice(t *testing.T) {
+	// 2x3 column-major: columns are (1,2), (3,4), (5,6).
+	m := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.At(0, 0) != 1 || m.At(1, 0) != 2 || m.At(0, 1) != 3 || m.At(1, 2) != 6 {
+		t.Fatalf("NewFromSlice layout wrong: %+v", m)
+	}
+}
+
+func TestNewFromSliceShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short slice did not panic")
+		}
+	}()
+	NewFromSlice(2, 3, make([]float64, 5))
+}
+
+func TestSliceView(t *testing.T) {
+	m := New(4, 4)
+	m.FillFunc(func(i, j int) float64 { return float64(10*i + j) })
+	v := m.Slice(1, 3, 2, 4)
+	if v.Rows != 2 || v.Cols != 2 {
+		t.Fatalf("view dims %dx%d, want 2x2", v.Rows, v.Cols)
+	}
+	if v.At(0, 0) != m.At(1, 2) || v.At(1, 1) != m.At(2, 3) {
+		t.Fatal("view elements do not alias parent")
+	}
+	v.Set(0, 0, -1)
+	if m.At(1, 2) != -1 {
+		t.Fatal("view write did not propagate to parent")
+	}
+	if !v.IsView() {
+		t.Fatal("Slice of interior should report IsView")
+	}
+}
+
+func TestSliceBadRangePanics(t *testing.T) {
+	m := New(3, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad slice did not panic")
+		}
+	}()
+	m.Slice(0, 4, 0, 1)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(3, 2)
+	m.FillFunc(func(i, j int) float64 { return float64(i - j) })
+	c := m.Clone()
+	if !Equal(m, c) {
+		t.Fatal("clone not equal to source")
+	}
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("clone shares storage with source")
+	}
+}
+
+func TestCopyViewToCompact(t *testing.T) {
+	m := New(4, 4)
+	m.FillFunc(func(i, j int) float64 { return float64(i + 4*j) })
+	v := m.Slice(1, 3, 1, 3)
+	dst := New(2, 2)
+	Copy(dst, v)
+	if dst.At(0, 0) != m.At(1, 1) || dst.At(1, 1) != m.At(2, 2) {
+		t.Fatal("Copy from view wrong")
+	}
+}
+
+func TestCopyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Copy did not panic")
+		}
+	}()
+	Copy(New(2, 2), New(3, 2))
+}
+
+func TestZeroAndFill(t *testing.T) {
+	m := New(3, 3)
+	m.Fill(7)
+	if m.At(2, 2) != 7 {
+		t.Fatal("Fill failed")
+	}
+	m.Zero()
+	if m.FrobNorm() != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestFillOnViewDoesNotLeak(t *testing.T) {
+	m := New(4, 4)
+	v := m.Slice(1, 3, 1, 3)
+	v.Fill(5)
+	if m.At(0, 0) != 0 || m.At(3, 3) != 0 || m.At(0, 1) != 0 {
+		t.Fatal("Fill on view wrote outside the view")
+	}
+	if m.At(1, 1) != 5 || m.At(2, 2) != 5 {
+		t.Fatal("Fill on view did not write inside the view")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewFromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		r, c := rng.IntRange(1, 12), rng.IntRange(1, 12)
+		m := NewRandom(r, c, rng)
+		return Equal(m, m.Transpose().Transpose())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := New(2, 2)
+	b := New(2, 2)
+	b.Set(1, 1, 1e-9)
+	if !EqualApprox(a, b, 1e-8) {
+		t.Fatal("EqualApprox too strict")
+	}
+	if EqualApprox(a, b, 1e-10) {
+		t.Fatal("EqualApprox too lax")
+	}
+	if EqualApprox(a, New(2, 3), 1) {
+		t.Fatal("EqualApprox ignored dimension mismatch")
+	}
+}
+
+func TestEqualApproxNaN(t *testing.T) {
+	a := New(1, 1)
+	b := New(1, 1)
+	b.Set(0, 0, math.NaN())
+	if EqualApprox(a, b, 1e9) {
+		t.Fatal("NaN should never compare approximately equal")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewFromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := NewFromSlice(2, 2, []float64{1, 2.5, 3, 3})
+	if got := MaxAbsDiff(a, b); got != 1 {
+		t.Fatalf("MaxAbsDiff = %v, want 1", got)
+	}
+}
+
+func TestFrobNorm(t *testing.T) {
+	m := NewFromSlice(2, 2, []float64{3, 0, 0, 4})
+	if got := m.FrobNorm(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("FrobNorm = %v, want 5", got)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	rng := xrand.New(7)
+	s := NewSymmetricRandom(8, rng)
+	if !s.IsSymmetric(0) {
+		t.Fatal("NewSymmetricRandom not symmetric")
+	}
+	s.Set(0, 1, s.At(0, 1)+1)
+	if s.IsSymmetric(1e-9) {
+		t.Fatal("perturbed matrix still symmetric")
+	}
+	if New(2, 3).IsSymmetric(1) {
+		t.Fatal("non-square reported symmetric")
+	}
+}
+
+func TestMirrorTriangleLower(t *testing.T) {
+	m := New(3, 3)
+	m.FillFunc(func(i, j int) float64 {
+		if i >= j {
+			return float64(1 + i + 10*j)
+		}
+		return -99 // garbage in the upper triangle
+	})
+	MirrorTriangle(m, Lower)
+	if !m.IsSymmetric(0) {
+		t.Fatal("MirrorTriangle(Lower) did not symmetrise")
+	}
+	if m.At(0, 2) != m.At(2, 0) || m.At(2, 0) != 3 {
+		t.Fatal("upper triangle not sourced from lower")
+	}
+}
+
+func TestMirrorTriangleUpper(t *testing.T) {
+	m := New(3, 3)
+	m.FillFunc(func(i, j int) float64 {
+		if i <= j {
+			return float64(1 + i + 10*j)
+		}
+		return -99
+	})
+	MirrorTriangle(m, Upper)
+	if !m.IsSymmetric(0) {
+		t.Fatal("MirrorTriangle(Upper) did not symmetrise")
+	}
+}
+
+func TestMirrorTriangleNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MirrorTriangle on non-square did not panic")
+		}
+	}()
+	MirrorTriangle(New(2, 3), Lower)
+}
+
+func TestZeroTriangle(t *testing.T) {
+	m := New(3, 3)
+	m.Fill(1)
+	ZeroTriangle(m, Lower)
+	if m.At(0, 1) != 0 || m.At(0, 2) != 0 || m.At(1, 2) != 0 {
+		t.Fatal("upper triangle not cleared")
+	}
+	if m.At(1, 1) != 1 || m.At(2, 0) != 1 {
+		t.Fatal("lower triangle or diagonal damaged")
+	}
+	m.Fill(1)
+	ZeroTriangle(m, Upper)
+	if m.At(1, 0) != 0 || m.At(2, 1) != 0 {
+		t.Fatal("lower triangle not cleared")
+	}
+	if m.At(0, 2) != 1 {
+		t.Fatal("upper triangle damaged")
+	}
+}
+
+func TestUploString(t *testing.T) {
+	if Lower.String() != "Lower" || Upper.String() != "Upper" {
+		t.Fatal("Uplo.String wrong")
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := NewRandom(4, 4, xrand.New(3))
+	b := NewRandom(4, 4, xrand.New(3))
+	if !Equal(a, b) {
+		t.Fatal("same seed produced different matrices")
+	}
+	c := NewRandom(4, 4, xrand.New(4))
+	if Equal(a, c) {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestFillRandomRange(t *testing.T) {
+	m := NewRandom(50, 50, xrand.New(1))
+	for _, v := range m.Data {
+		if v < -1 || v >= 1 {
+			t.Fatalf("element %v outside [-1, 1)", v)
+		}
+	}
+}

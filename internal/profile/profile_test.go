@@ -1,0 +1,168 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"lamb/internal/exec"
+	"lamb/internal/kernels"
+)
+
+func simTimer() *exec.Timer {
+	return &exec.Timer{Exec: exec.NewDefaultSimulated(), Reps: 3}
+}
+
+func TestEfficiencyCurveShape(t *testing.T) {
+	// Figure 1: efficiency ramps with square size and GEMM dominates SYRK
+	// and SYMM at mid sizes.
+	timer := simTimer()
+	sizes := []int{100, 300, 600, 1200}
+	g := EfficiencyCurve(timer, kernels.Gemm, sizes)
+	sy := EfficiencyCurve(timer, kernels.Syrk, sizes)
+	sm := EfficiencyCurve(timer, kernels.Symm, sizes)
+	if len(g) != len(sizes) {
+		t.Fatalf("curve length %d", len(g))
+	}
+	for i := range sizes {
+		if g[i].Efficiency <= 0 || g[i].Efficiency > 1 {
+			t.Fatalf("gemm efficiency out of range at %d: %v", sizes[i], g[i].Efficiency)
+		}
+		if g[i].Efficiency <= sy[i].Efficiency || g[i].Efficiency <= sm[i].Efficiency {
+			t.Fatalf("size %d: gemm %.3f should dominate syrk %.3f and symm %.3f",
+				sizes[i], g[i].Efficiency, sy[i].Efficiency, sm[i].Efficiency)
+		}
+	}
+	if g[len(g)-1].Efficiency <= g[0].Efficiency {
+		t.Fatal("gemm efficiency should ramp upward")
+	}
+}
+
+func TestDefaultGrid(t *testing.T) {
+	g := DefaultGrid(5)
+	if len(g) != 5 || g[0] != 20 || g[4] != 1200 {
+		t.Fatalf("grid %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not increasing: %v", g)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DefaultGrid(1) should panic")
+		}
+	}()
+	DefaultGrid(1)
+}
+
+func TestProfileInterpolationExactOnGrid(t *testing.T) {
+	timer := simTimer()
+	grid := []int{50, 100, 400}
+	p := Measure(timer, kernels.Gemm, grid, grid, grid)
+	// On a grid point the interpolation must return the measured rate.
+	call := kernels.NewGemm(100, 100, 100, "A", "B", "C", false, false)
+	sec := timer.MeasureCallCold(call)
+	want := call.Flops() / sec
+	if got := p.RateAt(100, 100, 100); math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("grid-point rate %v, want %v", got, want)
+	}
+}
+
+func TestProfileInterpolationBetweenPoints(t *testing.T) {
+	timer := simTimer()
+	grid := []int{50, 100, 400}
+	p := Measure(timer, kernels.Gemm, grid, grid, grid)
+	lo := p.RateAt(100, 100, 100)
+	hi := p.RateAt(400, 400, 400)
+	mid := p.RateAt(200, 200, 200)
+	if !(mid > math.Min(lo, hi) && mid < math.Max(lo, hi)) {
+		t.Fatalf("interpolated rate %v outside (%v, %v)", mid, lo, hi)
+	}
+}
+
+func TestProfileClampsOutsideGrid(t *testing.T) {
+	timer := simTimer()
+	grid := []int{50, 100, 400}
+	p := Measure(timer, kernels.Gemm, grid, grid, grid)
+	if p.RateAt(10, 10, 10) != p.RateAt(50, 50, 50) {
+		t.Fatal("below-grid rates should clamp to the lowest grid point")
+	}
+	if p.RateAt(5000, 5000, 5000) != p.RateAt(400, 400, 400) {
+		t.Fatal("above-grid rates should clamp to the highest grid point")
+	}
+}
+
+func TestPredictCallAccuracy(t *testing.T) {
+	// On the simulated machine, profile prediction of an off-grid call
+	// should land within ~35% of the true cold time (the surface has
+	// steps and sawtooth texture that interpolation smooths over).
+	timer := simTimer()
+	grid := DefaultGrid(8)
+	p := Measure(timer, kernels.Gemm, grid, grid, grid)
+	sim := exec.NewDefaultSimulated()
+	for _, sh := range [][3]int{{300, 300, 300}, {150, 700, 90}, {1000, 250, 480}} {
+		call := kernels.NewGemm(sh[0], sh[1], sh[2], "A", "B", "C", false, false)
+		pred := p.PredictCall(call)
+		truth := sim.Machine().ColdTime(call)
+		ratio := pred / truth
+		if ratio < 0.65 || ratio > 1.55 {
+			t.Fatalf("prediction for %v off by ratio %.2f (pred %.3g, truth %.3g)",
+				sh, ratio, pred, truth)
+		}
+	}
+}
+
+func TestPredictCallWrongKindPanics(t *testing.T) {
+	timer := simTimer()
+	grid := []int{50, 100}
+	p := Measure(timer, kernels.Gemm, grid, grid, grid)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	p.PredictCall(kernels.NewSyrk(60, 60, "A", "C"))
+}
+
+func TestMeasurePanicsOnUnsortedGrid(t *testing.T) {
+	timer := simTimer()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Measure(timer, kernels.Gemm, []int{100, 50}, []int{50}, []int{50})
+}
+
+func TestMeasureSetCoversAllKinds(t *testing.T) {
+	timer := simTimer()
+	s := MeasureSet(timer, 3)
+	calls := []kernels.Call{
+		kernels.NewGemm(80, 90, 100, "A", "B", "C", false, false),
+		kernels.NewSyrk(80, 100, "A", "C"),
+		kernels.NewSymm(80, 90, "A", "B", "C"),
+		kernels.NewTri2Full(80, "C"),
+	}
+	for _, c := range calls {
+		pred := s.PredictCall(c)
+		if pred <= 0 || math.IsInf(pred, 1) {
+			t.Fatalf("prediction for %v = %v", c, pred)
+		}
+	}
+	if s.Profile(kernels.Gemm) == nil {
+		t.Fatal("missing gemm profile")
+	}
+}
+
+func TestTri2FullProfileUsesBytes(t *testing.T) {
+	// Tri2Full has zero FLOPs: prediction must still be finite and
+	// positive (bytes-based).
+	timer := simTimer()
+	grid := []int{50, 200, 800}
+	p := Measure(timer, kernels.Tri2Full, grid, grid, grid)
+	c := kernels.NewTri2Full(300, "C")
+	pred := p.PredictCall(c)
+	if pred <= 0 || math.IsInf(pred, 1) {
+		t.Fatalf("tri2full prediction %v", pred)
+	}
+}

@@ -1,0 +1,163 @@
+package selection
+
+import (
+	"strings"
+	"testing"
+
+	"lamb/internal/exec"
+	"lamb/internal/expr"
+	"lamb/internal/profile"
+)
+
+func simTimer() *exec.Timer {
+	return &exec.Timer{Exec: exec.NewDefaultSimulated(), Reps: 3}
+}
+
+func TestMinFlopsPicksCheapest(t *testing.T) {
+	algs := expr.NewAATB().Algorithms(expr.Instance{100, 200, 300})
+	pick := MinFlops{}.Choose(algs)
+	// Algorithms 1 and 2 tie on the minimum count; lowest index wins.
+	if pick != 0 {
+		t.Fatalf("pick = %d, want 0", pick)
+	}
+	// An instance where algorithm 5 is cheapest: d0 large, d1·d2 small.
+	algs = expr.NewAATB().Algorithms(expr.Instance{1000, 30, 30})
+	if pick := (MinFlops{}).Choose(algs); pick != 4 {
+		t.Fatalf("pick = %d, want 4 (algorithm 5 cheapest)", pick)
+	}
+}
+
+func TestMinFlopsEqualsDPOnChains(t *testing.T) {
+	inst := expr.Instance{300, 40, 500, 60, 700}
+	algs := expr.NewChainABCD().Algorithms(inst)
+	pick := MinFlops{}.Choose(algs)
+	dp, _ := expr.MinFlopsParenthesisation([]int(inst))
+	if algs[pick].Flops() != dp {
+		t.Fatalf("min-flops pick %v flops %v != DP optimum %v", pick, algs[pick].Flops(), dp)
+	}
+}
+
+func TestOracleAgreesWithExhaustiveTiming(t *testing.T) {
+	timer := simTimer()
+	algs := expr.NewAATB().Algorithms(expr.Instance{150, 90, 800})
+	pick := Oracle{Timer: timer}.Choose(algs)
+	best, bestT := -1, 0.0
+	for i := range algs {
+		tt := timer.MeasureAlgorithm(&algs[i]).Total
+		if best < 0 || tt < bestT {
+			best, bestT = i, tt
+		}
+	}
+	if pick != best {
+		t.Fatalf("oracle pick %d, exhaustive best %d", pick, best)
+	}
+}
+
+func TestMinPredictedBeatsMinFlopsOnAnomalies(t *testing.T) {
+	// On the simulated machine, AAᵀB anomalies are abundant; the profile-
+	// based strategy must recover a substantial share of the regret that
+	// MinFlops leaves on the table (the paper's concluding conjecture).
+	timer := simTimer()
+	profiles := profile.MeasureSet(timer, 6)
+	strategies := []Strategy{MinFlops{}, MinPredicted{Profiles: profiles}}
+	reports := Evaluate(expr.NewAATB(), timer, strategies, Config{
+		Box:       expr.PaperBox(3),
+		Instances: 120,
+		Seed:      7,
+	})
+	mf, mp := reports[0], reports[1]
+	if mf.Instances != 120 || mp.Instances != 120 {
+		t.Fatalf("instances %d, %d", mf.Instances, mp.Instances)
+	}
+	if mp.Regret.Mean() >= mf.Regret.Mean() {
+		t.Fatalf("min-predicted regret %.3f should beat min-flops %.3f",
+			mp.Regret.Mean(), mf.Regret.Mean())
+	}
+	if mp.OptimalPicks <= mf.OptimalPicks {
+		t.Fatalf("min-predicted optimal picks %d should exceed min-flops %d",
+			mp.OptimalPicks, mf.OptimalPicks)
+	}
+}
+
+func TestOracleHasZeroRegret(t *testing.T) {
+	timer := simTimer()
+	reports := Evaluate(expr.NewAATB(), timer, []Strategy{Oracle{Timer: timer}}, Config{
+		Box:       expr.UniformBox(3, 50, 400),
+		Instances: 15,
+		Seed:      3,
+	})
+	// The oracle re-measures; noise can cause tiny nonzero regret, but
+	// the mean must be far below any real strategy's.
+	if reports[0].Regret.Mean() > 0.02 {
+		t.Fatalf("oracle regret %.4f too large", reports[0].Regret.Mean())
+	}
+	if reports[0].OptimalPicks < 13 {
+		t.Fatalf("oracle optimal picks %d/15", reports[0].OptimalPicks)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	timer := simTimer()
+	cfg := Config{Box: expr.UniformBox(3, 50, 300), Instances: 10, Seed: 11}
+	a := Evaluate(expr.NewAATB(), timer, []Strategy{MinFlops{}}, cfg)
+	b := Evaluate(expr.NewAATB(), timer, []Strategy{MinFlops{}}, cfg)
+	if a[0].Regret.Mean() != b[0].Regret.Mean() || a[0].OptimalPicks != b[0].OptimalPicks {
+		t.Fatal("Evaluate not deterministic")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Strategy: "min-flops", Instances: 10, OptimalPicks: 7}
+	s := r.String()
+	if !strings.Contains(s, "min-flops") || !strings.Contains(s, "7") {
+		t.Fatalf("report string %q", s)
+	}
+}
+
+func TestChoosePanicsOnEmpty(t *testing.T) {
+	for _, s := range []Strategy{MinFlops{}, MinPredicted{}, Oracle{}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic on empty set", s.Name())
+				}
+			}()
+			s.Choose(nil)
+		}()
+	}
+}
+
+func TestEvaluatePanicsOnBadConfig(t *testing.T) {
+	timer := simTimer()
+	for _, cfg := range []Config{
+		{Box: expr.Box{}, Instances: 5},
+		{Box: expr.UniformBox(3, 20, 100), Instances: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			Evaluate(expr.NewAATB(), timer, []Strategy{MinFlops{}}, cfg)
+		}()
+	}
+}
+
+func TestStrategiesOnLstSq(t *testing.T) {
+	// The six-kernel expression: the profile-based strategy must not be
+	// worse than FLOPs alone, and the oracle must dominate both.
+	timer := simTimer()
+	profiles := profile.MeasureSet(timer, 5)
+	reports := Evaluate(expr.NewLstSq(), timer,
+		[]Strategy{MinFlops{}, MinPredicted{Profiles: profiles}},
+		Config{Box: expr.PaperBox(3), Instances: 60, Seed: 13})
+	mf, mp := reports[0], reports[1]
+	if mp.Regret.Mean() > mf.Regret.Mean()+1e-9 {
+		t.Fatalf("min-predicted regret %.4f worse than min-flops %.4f on lstsq",
+			mp.Regret.Mean(), mf.Regret.Mean())
+	}
+	if mf.Instances != 60 {
+		t.Fatalf("instances %d", mf.Instances)
+	}
+}

@@ -1,0 +1,25 @@
+package lamb
+
+import "lamb/internal/kernels"
+
+// KernelKind identifies one of the BLAS kernels the paper's algorithms
+// are built from.
+type KernelKind = kernels.Kind
+
+// Kernel kinds (paper §3.1). Tri2Full is the triangle-mirroring data
+// movement between SYRK and GEMM in AAᵀB Algorithm 2.
+const (
+	GEMM     = kernels.Gemm
+	SYRK     = kernels.Syrk
+	SYMM     = kernels.Symm
+	Tri2Full = kernels.Tri2Full
+	// POTRF, TRSM, and ADDSYM extend the paper's kernel set for the
+	// least-squares expression (see LstSq).
+	POTRF  = kernels.Potrf
+	TRSM   = kernels.Trsm
+	ADDSYM = kernels.AddSym
+)
+
+// KernelCall describes one kernel invocation with its dimensions and
+// operands.
+type KernelCall = kernels.Call

@@ -1,0 +1,264 @@
+// Package lamb reproduces the study "FLOPs as a Discriminant for Dense
+// Linear Algebra Algorithms" (López, Karlsson, Bientinesi; ICPP 2022).
+//
+// The library answers the paper's question — when does selecting the
+// algorithm with the minimum FLOP count fail to select a fastest
+// algorithm? — by providing:
+//
+//   - the two expressions the paper studies (the matrix chain ABCD and
+//     AAᵀB) plus a general n-term chain, with their full sets of
+//     mathematically equivalent algorithms built from GEMM, SYRK, SYMM;
+//   - two execution backends: a deterministic simulated machine
+//     calibrated to the paper's observations, and a measured backend
+//     running a from-scratch pure-Go BLAS;
+//   - the three experiments: random search for anomalies, axis-aligned
+//     traversal of anomalous regions, and anomaly prediction from
+//     isolated kernel benchmarks;
+//   - kernel performance profiles and algorithm-selection strategies,
+//     including the paper's proposed FLOPs+profiles discriminant.
+//
+// See README.md for a tour and DESIGN.md for the system inventory.
+//
+// # Quick start
+//
+//	timer := lamb.NewSimTimer()
+//	runner := lamb.NewRunner(lamb.ChainABCD(), timer, 0.10)
+//	res := runner.Evaluate(lamb.Instance{331, 279, 338, 854, 427})
+//	fmt.Println(res.Class.Anomaly, res.Class.TimeScore)
+package lamb
+
+import (
+	"lamb/internal/core"
+	"lamb/internal/exec"
+	"lamb/internal/expr"
+	"lamb/internal/machine"
+	"lamb/internal/mat"
+	"lamb/internal/profile"
+	"lamb/internal/selection"
+	"lamb/internal/stats"
+	"lamb/internal/xrand"
+)
+
+// Core modelling types.
+type (
+	// Instance assigns sizes to an expression's dimensions.
+	Instance = expr.Instance
+	// Algorithm is a sequence of kernel calls evaluating an expression.
+	Algorithm = expr.Algorithm
+	// Expression is a family of instances with its algorithm set.
+	Expression = expr.Expression
+	// Box is a hyper-rectangular instance search space.
+	Box = expr.Box
+	// Chain is the n-term matrix chain expression.
+	Chain = expr.Chain
+	// Matrix is a dense column-major float64 matrix.
+	Matrix = mat.Dense
+)
+
+// Execution and timing.
+type (
+	// Executor runs algorithms and reports times (simulated or measured).
+	Executor = exec.Executor
+	// Timer applies the paper's median-of-repetitions protocol.
+	Timer = exec.Timer
+	// Measurement is a timed algorithm run.
+	Measurement = exec.Measurement
+	// MachineConfig configures the simulated machine.
+	MachineConfig = machine.Config
+)
+
+// The anomaly study.
+type (
+	// Runner evaluates and classifies instances.
+	Runner = core.Runner
+	// Classification is the paper's cheapest/fastest labelling with
+	// severity scores.
+	Classification = core.Classification
+	// InstanceResult is a fully measured instance.
+	InstanceResult = core.InstanceResult
+	// Exp1Config / Exp1Result: random search (paper §3.4.1).
+	Exp1Config = core.Exp1Config
+	Exp1Result = core.Exp1Result
+	// Exp2Config / Exp2Result / Line: region traversal (paper §3.4.2).
+	Exp2Config = core.Exp2Config
+	Exp2Result = core.Exp2Result
+	Line       = core.Line
+	// Exp3Config / Exp3Result: prediction from benchmarks (paper §3.4.3).
+	Exp3Config = core.Exp3Config
+	Exp3Result = core.Exp3Result
+	// ConfusionMatrix tallies predicted-vs-actual anomalies.
+	ConfusionMatrix = stats.ConfusionMatrix
+)
+
+// Profiles and selection.
+type (
+	// Profile is a benchmarked kernel performance surface.
+	Profile = profile.Profile
+	// ProfileSet covers all kernel kinds.
+	ProfileSet = profile.Set
+	// CurvePoint is one sample of a Figure-1 efficiency curve.
+	CurvePoint = profile.CurvePoint
+	// Strategy selects an algorithm from a set.
+	Strategy = selection.Strategy
+	// SelectionReport summarises a strategy's regret.
+	SelectionReport = selection.Report
+	// SelectionConfig parameterises strategy evaluation.
+	SelectionConfig = selection.Config
+)
+
+// Selection strategies.
+type (
+	// MinFlops is the paper's baseline discriminant (Linnea, Armadillo,
+	// Julia): minimum FLOP count.
+	MinFlops = selection.MinFlops
+	// MinPredicted combines FLOP counts with kernel performance profiles
+	// (the paper's proposed improvement).
+	MinPredicted = selection.MinPredicted
+	// Oracle picks the empirically fastest algorithm by measuring all.
+	Oracle = selection.Oracle
+)
+
+// ChainABCD returns the paper's 4-term matrix chain expression with its
+// six algorithms (Figure 3).
+func ChainABCD() Chain { return expr.NewChainABCD() }
+
+// NewChain returns an n-term matrix chain expression with its (n−1)!
+// algorithms.
+func NewChain(terms int) Chain { return Chain{Terms: terms} }
+
+// AATB returns the expression X := A·Aᵀ·B with its five algorithms
+// (Figure 5).
+func AATB() expr.AATB { return expr.NewAATB() }
+
+// LstSq returns the regularised least-squares expression
+// X := (A·Aᵀ + R)⁻¹·A·B with its four algorithms over six kernel kinds
+// (SYRK/GEMM Gram variants × RHS-ordering variants, with a triangular
+// accumulation, a Cholesky factorisation, and two triangular solves).
+// This extends the paper's study to a LAPACK-level kernel mix, testing
+// its §5 conjecture that richer expressions produce more anomalies.
+func LstSq() expr.LstSq { return expr.NewLstSq() }
+
+// MinFlopsParenthesisation is the classic O(n³) dynamic program for the
+// matrix chain: minimum FLOPs over all parenthesisations plus one optimal
+// tree.
+func MinFlopsParenthesisation(dims []int) (float64, string) {
+	return expr.MinFlopsParenthesisation(dims)
+}
+
+// PaperBox returns the paper's search space, 20 ≤ dᵢ ≤ 1200.
+func PaperBox(arity int) Box { return expr.PaperBox(arity) }
+
+// UniformBox returns a box with range [lo, hi] in every dimension.
+func UniformBox(arity, lo, hi int) Box { return expr.UniformBox(arity, lo, hi) }
+
+// DefaultMachineConfig returns the calibrated simulated-machine
+// configuration (a 10-core Xeon-class machine; see DESIGN.md).
+func DefaultMachineConfig() MachineConfig { return machine.Default() }
+
+// AltMachineConfig returns a second calibrated machine (16 wider cores,
+// a different BLAS generation) for cross-machine anomaly studies: the
+// paper's conclusion predicts that anomalies move when the setup changes.
+func AltMachineConfig() MachineConfig { return machine.DefaultAlt() }
+
+// NewSimExecutor returns the simulated executor on the calibrated default
+// machine.
+func NewSimExecutor() Executor { return exec.NewDefaultSimulated() }
+
+// NewSimExecutorWith returns a simulated executor on a custom machine
+// configuration (used by the ablation benchmarks).
+func NewSimExecutorWith(cfg MachineConfig) Executor {
+	return exec.NewSimulated(machine.New(cfg))
+}
+
+// NewMeasuredExecutor returns the executor that times the pure-Go BLAS
+// kernels.
+func NewMeasuredExecutor() Executor { return exec.NewMeasured() }
+
+// NewTimer wraps an executor with the paper's protocol (median of 10
+// repetitions, cache flushed before each).
+func NewTimer(e Executor) *Timer { return exec.NewTimer(e) }
+
+// NewSimTimer is shorthand for NewTimer(NewSimExecutor()).
+func NewSimTimer() *Timer { return exec.NewTimer(exec.NewDefaultSimulated()) }
+
+// NewRunner returns a Runner classifying instances of e at the given
+// time-score threshold.
+func NewRunner(e Expression, t *Timer, threshold float64) *Runner {
+	return core.NewRunner(e, t, threshold)
+}
+
+// Classify labels an instance from per-algorithm FLOP counts and times.
+func Classify(flops, times []float64, threshold float64) Classification {
+	return core.Classify(flops, times, threshold)
+}
+
+// RunExperiment1 performs the paper's random search for anomalies.
+func RunExperiment1(r *Runner, cfg Exp1Config) Exp1Result { return core.RunExp1(r, cfg) }
+
+// RunExperiment1Parallel is RunExperiment1 with evaluations spread over
+// workers; results are bit-identical to the sequential run. It requires
+// a concurrency-safe executor (the simulated backend is).
+func RunExperiment1Parallel(r *Runner, cfg Exp1Config, workers int) Exp1Result {
+	return core.RunExp1Parallel(r, cfg, workers)
+}
+
+// RunExperiment2 traverses axis-aligned lines through anomalies.
+func RunExperiment2(r *Runner, anomalies []Instance, cfg Exp2Config) Exp2Result {
+	return core.RunExp2(r, anomalies, cfg)
+}
+
+// RunExperiment2Parallel is RunExperiment2 with line traversals spread
+// over workers; bit-identical to the sequential run (simulated backend
+// only).
+func RunExperiment2Parallel(r *Runner, anomalies []Instance, cfg Exp2Config, workers int) Exp2Result {
+	return core.RunExp2Parallel(r, anomalies, cfg, workers)
+}
+
+// RunExperiment3Parallel is RunExperiment3 with the distinct-call
+// benchmarking phase spread over workers; bit-identical to the
+// sequential run (simulated backend only).
+func RunExperiment3Parallel(r *Runner, exp2 Exp2Result, cfg Exp3Config, workers int) Exp3Result {
+	return core.RunExp3Parallel(r, exp2, cfg, workers)
+}
+
+// DefaultExp2Config returns the paper's Experiment 2 settings (step 10,
+// regions end at 3 consecutive non-anomalies).
+func DefaultExp2Config(box Box) Exp2Config { return core.DefaultExp2Config(box) }
+
+// RunExperiment3 predicts anomalies from isolated kernel benchmarks and
+// tallies the confusion matrix.
+func RunExperiment3(r *Runner, exp2 Exp2Result, cfg Exp3Config) Exp3Result {
+	return core.RunExp3(r, exp2, cfg)
+}
+
+// EfficiencyCurve measures a kernel's efficiency on square operands — the
+// data behind the paper's Figure 1.
+func EfficiencyCurve(t *Timer, kind KernelKind, sizes []int) []CurvePoint {
+	return profile.EfficiencyCurve(t, kind, sizes)
+}
+
+// MeasureProfiles benchmarks performance profiles for every kernel kind
+// on a geometric grid with the given points per dimension.
+func MeasureProfiles(t *Timer, points int) *ProfileSet { return profile.MeasureSet(t, points) }
+
+// EvaluateStrategies measures selection-strategy regret on random
+// instances.
+func EvaluateStrategies(e Expression, t *Timer, strategies []Strategy, cfg SelectionConfig) []SelectionReport {
+	return selection.Evaluate(e, t, strategies, cfg)
+}
+
+// EvaluateAlgorithm executes an algorithm's kernel sequence on concrete
+// inputs with the pure-Go BLAS and returns the result matrix (the
+// correctness path: all algorithms of an expression agree numerically).
+func EvaluateAlgorithm(alg *Algorithm, inputs map[string]*Matrix) *Matrix {
+	return exec.EvaluateAlgorithm(alg, inputs)
+}
+
+// NewMatrix returns a zeroed r-by-c matrix.
+func NewMatrix(r, c int) *Matrix { return mat.New(r, c) }
+
+// NewRandomMatrix returns an r-by-c matrix with deterministic uniform
+// entries in [-1, 1) drawn from the given seed.
+func NewRandomMatrix(r, c int, seed uint64) *Matrix {
+	return mat.NewRandom(r, c, xrand.New(seed))
+}
