@@ -1,0 +1,49 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lamb/internal/exec"
+)
+
+func TestNextBenchPathSkipsExisting(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("first path %q, want BENCH_1.json", p1)
+	}
+	if err := os.WriteFile(p1, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := nextBenchPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_2.json" {
+		t.Fatalf("second path %q, want BENCH_2.json", p2)
+	}
+}
+
+func TestCmdBenchWritesJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdBench([]string{"-short", "-reps", "1", "-json", "-out", dir}); err != nil {
+		t.Fatalf("cmdBench: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_1.json"))
+	if err != nil {
+		t.Fatalf("BENCH_1.json not written: %v", err)
+	}
+	var rep exec.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_1.json does not parse: %v", err)
+	}
+	if len(rep.Results) == 0 || rep.PeakGFlops <= 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+}

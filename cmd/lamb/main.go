@@ -14,6 +14,7 @@
 //	exp2       regions around anomalies (Figures 7, 8, 10, 11)
 //	exp3       prediction from benchmarks (Tables 1 and 2)
 //	select     algorithm-selection strategies (paper §5 conjecture)
+//	bench      kernel benchmark grid (BENCH_<n>.json with -json)
 //	all        the full paper pipeline for both of the paper's expressions
 //
 // The lstsq expression (X := (A·Aᵀ+R)⁻¹·A·B) extends the study beyond
@@ -61,6 +62,8 @@ func main() {
 		err = cmdExp3(args)
 	case "select":
 		err = cmdSelect(args)
+	case "bench":
+		err = cmdBench(args)
 	case "all":
 		err = cmdAll(args)
 	case "-h", "--help", "help":
@@ -86,6 +89,7 @@ subcommands:
   exp2       regions around anomalies (Figures 7, 8, 10, 11)
   exp3       prediction from benchmarks (Tables 1, 2)
   select     algorithm-selection strategies
+  bench      kernel benchmark grid (writes BENCH_<n>.json with -json)
   all        full paper pipeline
 
 run 'lamb <subcommand> -h' for flags`)

@@ -1,0 +1,3 @@
+module lamb
+
+go 1.24

@@ -76,123 +76,48 @@ func packB(buf []float64, b *mat.Dense, transB bool, p0, p1, j0, j1 int) {
 	}
 }
 
-// macroKernel multiplies the packed block pair (mcb×kcb by kcb×ncb) and
-// updates C[ic:ic+mcb, jc:jc+ncb] with C = alpha·A·B + betaEff·C.
-func macroKernel(bufA, bufB []float64, mcb, ncb, kcb int, alpha, betaEff float64, c *mat.Dense, ic, jc int) {
-	var edge [mr * nr]float64
-	for q := 0; q < ncb; q += nr {
-		colsB := min(nr, ncb-q)
+// macroKernel multiplies the packed block pair over the packed-B column
+// range [q0, q1) (q0 a multiple of nr; pass 0, ncb for the whole block)
+// and updates C[ic:ic+mcb, jc+q0:jc+q1] with C = alpha·A·B + betaEff·C.
+//
+// Every micro-tile is computed into a contiguous scratch tile and merged,
+// so full and ragged tiles share one code path and the micro-kernel never
+// touches C. The merge is O(mr·nr) against the tile's O(mr·nr·kcb)
+// compute, so its cost is noise for realistic kcb.
+func macroKernel(bufA, bufB []float64, mcb, kcb int, alpha, betaEff float64, c *mat.Dense, ic, jc, q0, q1 int) {
+	var tile [mr * nr]float64
+	for q := q0; q < q1; q += nr {
+		colsB := min(nr, q1-q)
 		bp := bufB[q*kcb:] // q is a multiple of nr; panels are kcb·nr long
 		for p := 0; p < mcb; p += mr {
 			rowsA := min(mr, mcb-p)
 			ap := bufA[p*kcb:] // p is a multiple of mr; panels are kcb·mr long
-			if rowsA == mr && colsB == nr {
-				microKernel(ap, bp, kcb, alpha, betaEff, c, ic+p, jc+q)
-				continue
-			}
-			// Ragged tile: accumulate into a temp, then merge the valid part.
-			microKernelEdge(ap, bp, kcb, &edge)
-			for s := 0; s < colsB; s++ {
-				ccol := c.Data[(jc+q+s)*c.Stride:]
-				for r := 0; r < rowsA; r++ {
-					v := alpha * edge[r+s*mr]
-					if betaEff == 0 {
-						ccol[ic+p+r] = v
-					} else {
-						ccol[ic+p+r] = betaEff*ccol[ic+p+r] + v
-					}
-				}
-			}
+			microKernel8x4(ap, bp, kcb, &tile)
+			mergeTile(&tile, rowsA, colsB, alpha, betaEff, c, ic+p, jc+q)
 		}
 	}
 }
 
-// microKernel computes the full mr×nr tile:
-// C[i0:i0+4, j0:j0+4] = alpha·(packed product) + betaEff·C.
-func microKernel(ap, bp []float64, kcb int, alpha, betaEff float64, c *mat.Dense, i0, j0 int) {
-	var c00, c10, c20, c30 float64
-	var c01, c11, c21, c31 float64
-	var c02, c12, c22, c32 float64
-	var c03, c13, c23, c33 float64
-	ia, ib := 0, 0
-	for p := 0; p < kcb; p++ {
-		a0, a1, a2, a3 := ap[ia], ap[ia+1], ap[ia+2], ap[ia+3]
-		b0, b1, b2, b3 := bp[ib], bp[ib+1], bp[ib+2], bp[ib+3]
-		c00 += a0 * b0
-		c10 += a1 * b0
-		c20 += a2 * b0
-		c30 += a3 * b0
-		c01 += a0 * b1
-		c11 += a1 * b1
-		c21 += a2 * b1
-		c31 += a3 * b1
-		c02 += a0 * b2
-		c12 += a1 * b2
-		c22 += a2 * b2
-		c32 += a3 * b2
-		c03 += a0 * b3
-		c13 += a1 * b3
-		c23 += a2 * b3
-		c33 += a3 * b3
-		ia += mr
-		ib += nr
+// mergeTile folds the rowsA×colsB valid part of a column-major mr×nr
+// scratch tile into C[i0:i0+rowsA, j0:j0+colsB].
+func mergeTile(tile *[mr * nr]float64, rowsA, colsB int, alpha, betaEff float64, c *mat.Dense, i0, j0 int) {
+	for s := 0; s < colsB; s++ {
+		off := i0 + (j0+s)*c.Stride
+		ccol := c.Data[off : off+rowsA]
+		t := tile[s*mr : s*mr+rowsA]
+		switch betaEff {
+		case 0:
+			for r, v := range t {
+				ccol[r] = alpha * v
+			}
+		case 1:
+			for r, v := range t {
+				ccol[r] += alpha * v
+			}
+		default:
+			for r, v := range t {
+				ccol[r] = betaEff*ccol[r] + alpha*v
+			}
+		}
 	}
-	st := c.Stride
-	col0 := c.Data[i0+j0*st:]
-	col1 := c.Data[i0+(j0+1)*st:]
-	col2 := c.Data[i0+(j0+2)*st:]
-	col3 := c.Data[i0+(j0+3)*st:]
-	if betaEff == 0 {
-		col0[0], col0[1], col0[2], col0[3] = alpha*c00, alpha*c10, alpha*c20, alpha*c30
-		col1[0], col1[1], col1[2], col1[3] = alpha*c01, alpha*c11, alpha*c21, alpha*c31
-		col2[0], col2[1], col2[2], col2[3] = alpha*c02, alpha*c12, alpha*c22, alpha*c32
-		col3[0], col3[1], col3[2], col3[3] = alpha*c03, alpha*c13, alpha*c23, alpha*c33
-		return
-	}
-	col0[0] = betaEff*col0[0] + alpha*c00
-	col0[1] = betaEff*col0[1] + alpha*c10
-	col0[2] = betaEff*col0[2] + alpha*c20
-	col0[3] = betaEff*col0[3] + alpha*c30
-	col1[0] = betaEff*col1[0] + alpha*c01
-	col1[1] = betaEff*col1[1] + alpha*c11
-	col1[2] = betaEff*col1[2] + alpha*c21
-	col1[3] = betaEff*col1[3] + alpha*c31
-	col2[0] = betaEff*col2[0] + alpha*c02
-	col2[1] = betaEff*col2[1] + alpha*c12
-	col2[2] = betaEff*col2[2] + alpha*c22
-	col2[3] = betaEff*col2[3] + alpha*c32
-	col3[0] = betaEff*col3[0] + alpha*c03
-	col3[1] = betaEff*col3[1] + alpha*c13
-	col3[2] = betaEff*col3[2] + alpha*c23
-	col3[3] = betaEff*col3[3] + alpha*c33
-}
-
-// microKernelEdge computes a full padded tile into out (column-major
-// mr×nr). Padding lanes contain zeros so the extra work is harmless.
-func microKernelEdge(ap, bp []float64, kcb int, out *[mr * nr]float64) {
-	var acc [mr * nr]float64
-	ia, ib := 0, 0
-	for p := 0; p < kcb; p++ {
-		a0, a1, a2, a3 := ap[ia], ap[ia+1], ap[ia+2], ap[ia+3]
-		b0, b1, b2, b3 := bp[ib], bp[ib+1], bp[ib+2], bp[ib+3]
-		acc[0] += a0 * b0
-		acc[1] += a1 * b0
-		acc[2] += a2 * b0
-		acc[3] += a3 * b0
-		acc[4] += a0 * b1
-		acc[5] += a1 * b1
-		acc[6] += a2 * b1
-		acc[7] += a3 * b1
-		acc[8] += a0 * b2
-		acc[9] += a1 * b2
-		acc[10] += a2 * b2
-		acc[11] += a3 * b2
-		acc[12] += a0 * b3
-		acc[13] += a1 * b3
-		acc[14] += a2 * b3
-		acc[15] += a3 * b3
-		ia += mr
-		ib += nr
-	}
-	*out = acc
 }

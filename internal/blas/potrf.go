@@ -72,7 +72,27 @@ func potf2(a *mat.Dense, off int) error {
 
 // trsmRightLowerTrans solves X·Lᵀ = B in place for lower-triangular L
 // (the panel update of the blocked Cholesky): B is m×k, L is k×k.
+//
+// It is blocked: a column block of B is solved against the corresponding
+// diagonal block of L with the scalar kernel, then the trailing columns
+// are updated with a single GEMM (B[:, j1:] -= X_j · L[j1:, j0:j1]ᵀ), so
+// the O(m·k²) work runs at packed-GEMM speed instead of scalar speed.
 func trsmRightLowerTrans(l, b *mat.Dense) {
+	m, k := b.Rows, l.Rows
+	const nb = 32
+	for j0 := 0; j0 < k; j0 += nb {
+		j1 := min(j0+nb, k)
+		bj := b.Slice(0, m, j0, j1)
+		trsmRightLowerTransUnblocked(l.Slice(j0, j1, j0, j1), bj)
+		if j1 < k {
+			Gemm(false, true, -1, bj, l.Slice(j1, k, j0, j1), 1, b.Slice(0, m, j1, k))
+		}
+	}
+}
+
+// trsmRightLowerTransUnblocked is the scalar right-side substitution on a
+// single diagonal block.
+func trsmRightLowerTransUnblocked(l, b *mat.Dense) {
 	m, k := b.Rows, l.Rows
 	for j := 0; j < k; j++ {
 		ljj := l.Data[j+j*l.Stride]

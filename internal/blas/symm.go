@@ -15,9 +15,11 @@ import (
 // into a scratch square — copied directly, transposed, or symmetrised
 // depending on its position relative to the diagonal — and multiplied
 // with the corresponding row block of B using the packed GEMM machinery.
-// The per-block materialisation gives SYMM a lower efficiency plateau
-// than GEMM, matching the kernel-efficiency ordering in the paper's
-// Figure 1.
+// Row panels of C are mutually independent, so large products fan them
+// out over goroutines (each panel task runs the serial GEMM with pooled
+// scratch to avoid nested parallelism). The per-block materialisation
+// gives SYMM a lower efficiency plateau than GEMM, matching the
+// kernel-efficiency ordering in the paper's Figure 1.
 func Symm(uplo mat.Uplo, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
 	m := a.Rows
 	if a.Cols != m {
@@ -37,10 +39,14 @@ func Symm(uplo mat.Uplo, alpha float64, a, b *mat.Dense, beta float64, c *mat.De
 		scaleMatrix(c, beta)
 		return
 	}
-	scratch := mat.New(syrkBlock, syrkBlock)
-	for i0 := 0; i0 < m; i0 += syrkBlock {
+	npanels := (m + syrkBlock - 1) / syrkBlock
+	nw := workers()
+	parallel := nw > 1 && npanels > 1 && float64(m)*float64(m)*float64(n) >= parThreshold
+	run := func(t int) {
+		i0 := t * syrkBlock
 		i1 := min(i0+syrkBlock, m)
 		cb := c.Slice(i0, i1, 0, n)
+		scratch := syrkScratchPool.Get().(*mat.Dense)
 		for k0 := 0; k0 < m; k0 += syrkBlock {
 			k1 := min(k0+syrkBlock, m)
 			ab := materialiseSymBlock(scratch, a, uplo, i0, i1, k0, k1)
@@ -49,9 +55,18 @@ func Symm(uplo mat.Uplo, alpha float64, a, b *mat.Dense, beta float64, c *mat.De
 			if k0 == 0 {
 				betaEff = beta
 			}
-			Gemm(false, false, alpha, ab, bb, betaEff, cb)
+			if parallel {
+				gemmSerial(false, false, alpha, ab, bb, betaEff, cb)
+			} else {
+				Gemm(false, false, alpha, ab, bb, betaEff, cb)
+			}
 		}
+		syrkScratchPool.Put(scratch)
 	}
+	if !parallel {
+		nw = 1 // parallelTasks runs the tasks inline
+	}
+	parallelTasks(nw, npanels, run)
 }
 
 // materialiseSymBlock copies the logical symmetric block A[i0:i1, k0:k1]

@@ -2,12 +2,17 @@ package blas
 
 import (
 	"fmt"
+	"sync"
 
 	"lamb/internal/mat"
 )
 
 // syrkBlock is the block size for the SYRK and SYMM drivers.
 const syrkBlock = 96
+
+// syrkScratchPool pools the per-block scratch squares of the SYRK and
+// SYMM drivers so parallel block tasks neither share state nor allocate.
+var syrkScratchPool = sync.Pool{New: func() any { return mat.New(syrkBlock, syrkBlock) }}
 
 // Syrk computes the uplo triangle of C := alpha·A·Aᵀ + beta·C, with A
 // m×k and C m×m. Only the selected triangle of C is referenced and
@@ -17,9 +22,11 @@ const syrkBlock = 96
 // The implementation processes C by blocks: off-diagonal blocks are plain
 // GEMMs on row slices of A (with a transposed right-hand side), while
 // diagonal blocks are computed into a scratch square and only the
-// triangle merged. The diagonal overhead is why a measured SYRK ramps up
-// more slowly than GEMM at small m — one of the kernel-efficiency gaps
-// the paper identifies.
+// triangle merged. The blocks are mutually independent, so large updates
+// fan them out over goroutines (each block task runs the serial GEMM to
+// avoid nested parallelism). The diagonal overhead is why a measured SYRK
+// ramps up more slowly than GEMM at small m — one of the
+// kernel-efficiency gaps the paper identifies.
 func Syrk(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
 	m, k := a.Rows, a.Cols
 	if c.Rows != m || c.Cols != m {
@@ -32,33 +39,67 @@ func Syrk(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense
 		scaleTriangle(c, uplo, beta)
 		return
 	}
-	scratch := mat.New(syrkBlock, syrkBlock)
+	tasks := triBlockTasks(m, uplo)
+	nw := workers()
+	parallel := nw > 1 && len(tasks) > 1 && float64(m)*float64(m)*float64(k) >= parThreshold
+	run := func(t int) {
+		blk := tasks[t]
+		aj := a.Slice(blk.j0, blk.j1, 0, k)
+		if blk.diag() {
+			// Diagonal block: compute the full square into scratch, merge
+			// the triangle.
+			scratch := syrkScratchPool.Get().(*mat.Dense)
+			sb := scratch.Slice(0, blk.j1-blk.j0, 0, blk.j1-blk.j0)
+			if parallel {
+				gemmSerial(false, true, alpha, aj, aj, 0, sb)
+			} else {
+				// Serial driver (e.g. a single diagonal block): let Gemm
+				// parallelise internally when the block is big enough.
+				Gemm(false, true, alpha, aj, aj, 0, sb)
+			}
+			mergeTriangle(c, sb, blk.j0, uplo, beta)
+			syrkScratchPool.Put(scratch)
+			return
+		}
+		ai := a.Slice(blk.i0, blk.i1, 0, k)
+		cb := c.Slice(blk.i0, blk.i1, blk.j0, blk.j1)
+		if parallel {
+			gemmSerial(false, true, alpha, ai, aj, beta, cb)
+		} else {
+			Gemm(false, true, alpha, ai, aj, beta, cb)
+		}
+	}
+	if !parallel {
+		nw = 1 // parallelTasks runs the tasks inline
+	}
+	parallelTasks(nw, len(tasks), run)
+}
+
+// triBlock is one syrkBlock×syrkBlock tile of a triangular update:
+// rows [i0, i1) by columns [j0, j1).
+type triBlock struct{ i0, i1, j0, j1 int }
+
+func (b triBlock) diag() bool { return b.i0 == b.j0 }
+
+// triBlockTasks enumerates the blocks of the uplo triangle of an m×m
+// matrix: the diagonal block of each column panel plus its off-diagonal
+// blocks. All blocks are disjoint, so they can be processed in parallel.
+func triBlockTasks(m int, uplo mat.Uplo) []triBlock {
+	var tasks []triBlock
 	for j0 := 0; j0 < m; j0 += syrkBlock {
 		j1 := min(j0+syrkBlock, m)
-		aj := a.Slice(j0, j1, 0, k)
-		// Diagonal block: compute the full square into scratch, merge the
-		// triangle.
-		nb := j1 - j0
-		sb := scratch.Slice(0, nb, 0, nb)
-		Gemm(false, true, alpha, aj, aj, 0, sb)
-		mergeTriangle(c, sb, j0, uplo, beta)
-		// Off-diagonal blocks.
+		tasks = append(tasks, triBlock{j0, j1, j0, j1})
 		if uplo == mat.Lower {
 			for i0 := j1; i0 < m; i0 += syrkBlock {
-				i1 := min(i0+syrkBlock, m)
-				ai := a.Slice(i0, i1, 0, k)
-				cb := c.Slice(i0, i1, j0, j1)
-				Gemm(false, true, alpha, ai, aj, beta, cb)
+				tasks = append(tasks, triBlock{i0, min(i0+syrkBlock, m), j0, j1})
 			}
 		} else {
 			for i0 := 0; i0 < j0; i0 += syrkBlock {
-				i1 := min(i0+syrkBlock, j0)
-				ai := a.Slice(i0, i1, 0, k)
-				cb := c.Slice(i0, i1, j0, j1)
-				Gemm(false, true, alpha, ai, aj, beta, cb)
+				tasks = append(tasks, triBlock{i0, min(i0+syrkBlock, j0), j0, j1})
 			}
 		}
 	}
+	return tasks
 }
 
 // mergeTriangle merges the uplo triangle of the nb×nb block sb into

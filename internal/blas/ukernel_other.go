@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package blas
+
+// microKernel8x4 computes one packed 8×4 micro-tile into out. Non-amd64
+// platforms always use the portable kernel (on arm64 and ppc64 the
+// compiler fuses its multiply-adds into native FMA instructions).
+func microKernel8x4(ap, bp []float64, kcb int, out *[mr * nr]float64) {
+	microKernel8x4Generic(ap, bp, kcb, out)
+}

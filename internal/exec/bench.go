@@ -1,0 +1,145 @@
+package exec
+
+// This file is the benchmark harness for the measured backend: a fixed
+// kernel/shape grid timed through the same Dispatch path the experiments
+// use, with GFLOP/s and allocation counts recorded per point. The
+// `lamb bench` subcommand persists the report as BENCH_<n>.json so
+// successive PRs have a performance trajectory to regress against, and
+// Measured.Peak reuses BenchCall for its attainable-rate estimate.
+
+import (
+	"runtime"
+	"time"
+
+	"lamb/internal/blas"
+	"lamb/internal/kernels"
+	"lamb/internal/stats"
+	"lamb/internal/xrand"
+)
+
+// BenchResult is one timed point of the benchmark grid.
+type BenchResult struct {
+	// Kernel is the kernel kind name (gemm, syrk, symm, trsm, potrf).
+	Kernel string `json:"kernel"`
+	// M, N, K are the call dimensions (N and K zero when unused).
+	M int `json:"m"`
+	N int `json:"n,omitempty"`
+	K int `json:"k,omitempty"`
+	// Reps is the number of timed repetitions behind the medians.
+	Reps int `json:"reps"`
+	// Seconds is the median per-call wall time; BestSeconds the fastest.
+	Seconds     float64 `json:"seconds"`
+	BestSeconds float64 `json:"best_seconds"`
+	// GFlops and BestGFlops convert those times with the call's
+	// attributed FLOP count.
+	GFlops     float64 `json:"gflops"`
+	BestGFlops float64 `json:"best_gflops"`
+	// AllocsPerOp counts heap allocations during one steady-state call.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+}
+
+// BenchReport is a full benchmark-grid run, serialised to BENCH_<n>.json
+// by the lamb bench subcommand.
+type BenchReport struct {
+	// Backend names the executor that produced the numbers.
+	Backend string `json:"backend"`
+	// GoMaxProcs and Workers record the parallelism the grid ran with:
+	// GOMAXPROCS and the blas worker cap in effect.
+	GoMaxProcs int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	// PeakGFlops is the attainable-rate estimate (Measured.Peak / 1e9).
+	PeakGFlops float64       `json:"peak_gflops"`
+	Results    []BenchResult `json:"results"`
+}
+
+// BenchCall times a single kernel call reps times on freshly materialised
+// operands (in-place kernels like POTRF and TRSM need fresh inputs every
+// repetition) and counts steady-state heap allocations for one call.
+func BenchCall(call kernels.Call, reps int, rng *xrand.Rand) BenchResult {
+	if reps < 1 {
+		reps = 1
+	}
+	// Warm up: populate the packing-buffer pools and the instruction
+	// cache so the timed repetitions see steady state.
+	Dispatch(call, operandsForCall(call, rng))
+	times := make([]float64, reps)
+	for r := range times {
+		ops := operandsForCall(call, rng)
+		start := time.Now()
+		Dispatch(call, ops)
+		times[r] = time.Since(start).Seconds()
+	}
+	best := times[0]
+	for _, t := range times {
+		if t < best {
+			best = t
+		}
+	}
+	med := stats.Median(times)
+	// Allocation count for one call, measured outside the timed loop so
+	// ReadMemStats doesn't pollute the timings.
+	ops := operandsForCall(call, rng)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	Dispatch(call, ops)
+	runtime.ReadMemStats(&m1)
+	flops := call.Flops()
+	return BenchResult{
+		Kernel:      call.Kind.String(),
+		M:           call.M,
+		N:           call.N,
+		K:           call.K,
+		Reps:        reps,
+		Seconds:     med,
+		BestSeconds: best,
+		GFlops:      flops / med / 1e9,
+		BestGFlops:  flops / best / 1e9,
+		AllocsPerOp: m1.Mallocs - m0.Mallocs,
+	}
+}
+
+// benchGrid returns the fixed kernel/shape grid: square and skinny GEMMs
+// plus one or two shapes of each remaining kernel, small enough to finish
+// in seconds on the pure-Go backend.
+func benchGrid(short bool) []kernels.Call {
+	if short {
+		return []kernels.Call{
+			kernels.NewGemm(96, 96, 96, "A", "B", "C", false, false),
+			kernels.NewGemm(192, 192, 192, "A", "B", "C", false, false),
+			kernels.NewSyrk(128, 64, "A", "C"),
+			kernels.NewSymm(128, 128, "A", "B", "C"),
+			kernels.NewTrsm(128, 128, "L", "B", false),
+			kernels.NewPotrf(128, "S"),
+		}
+	}
+	return []kernels.Call{
+		kernels.NewGemm(128, 128, 128, "A", "B", "C", false, false),
+		kernels.NewGemm(256, 256, 256, "A", "B", "C", false, false),
+		kernels.NewGemm(512, 512, 512, "A", "B", "C", false, false),
+		kernels.NewGemm(512, 512, 16, "A", "B", "C", false, false),
+		kernels.NewGemm(512, 16, 512, "A", "B", "C", false, false),
+		kernels.NewSyrk(256, 64, "A", "C"),
+		kernels.NewSyrk(256, 256, "A", "C"),
+		kernels.NewSymm(256, 256, "A", "B", "C"),
+		kernels.NewTrsm(256, 256, "L", "B", false),
+		kernels.NewPotrf(256, "S"),
+		kernels.NewPotrf(512, "S"),
+	}
+}
+
+// RunBenchGrid runs the fixed benchmark grid on the measured backend and
+// assembles the report.
+func RunBenchGrid(short bool, reps int) BenchReport {
+	e := NewMeasured()
+	rng := xrand.New(0xbe9c4)
+	rep := BenchReport{
+		Backend:    e.Name(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    blas.Workers(),
+		PeakGFlops: e.Peak() / 1e9,
+	}
+	for _, call := range benchGrid(short) {
+		rep.Results = append(rep.Results, BenchCall(call, reps, rng))
+	}
+	return rep
+}

@@ -39,13 +39,15 @@ func NewMeasured() *Measured {
 }
 
 // flushCache streams writes through the flush buffer, evicting cached
-// operand data (the paper flushes the cache before each repetition).
+// operand data (the paper flushes the cache before each repetition). The
+// buffer is re-sized whenever FlushBytes changes, so adjusting the field
+// after the first flush takes effect.
 func (e *Measured) flushCache() {
-	if e.flushBuf == nil {
-		n := e.FlushBytes / 8
-		if n < 1024 {
-			n = 1024
-		}
+	n := e.FlushBytes / 8
+	if n < 1024 {
+		n = 1024
+	}
+	if len(e.flushBuf) != n {
 		e.flushBuf = make([]float64, n)
 	}
 	for i := range e.flushBuf {
@@ -205,23 +207,17 @@ func operandsForCall(call kernels.Call, rng *xrand.Rand) map[string]*mat.Dense {
 }
 
 // Peak implements Executor: an estimate of the machine's attainable FLOP
-// rate, measured once from square GEMM runs. Efficiencies reported by the
-// measured backend are relative to this estimate.
+// rate, measured once from square GEMM runs through the shared benchmark
+// harness (see BenchCall). Efficiencies reported by the measured backend
+// are relative to this estimate.
 func (e *Measured) Peak() float64 {
 	e.peakOnce.Do(func() {
 		rng := xrand.New(0xbeef)
 		best := 0.0
 		for _, s := range []int{192, 320} {
-			a := mat.NewRandom(s, s, rng)
-			b := mat.NewRandom(s, s, rng)
-			c := mat.New(s, s)
-			for rep := 0; rep < 3; rep++ {
-				start := time.Now()
-				blas.Gemm(false, false, 1, a, b, 0, c)
-				el := time.Since(start).Seconds()
-				if gf := 2 * float64(s) * float64(s) * float64(s) / el; gf > best {
-					best = gf
-				}
+			res := BenchCall(kernels.NewGemm(s, s, s, "A", "B", "C", false, false), 3, rng)
+			if f := res.BestGFlops * 1e9; f > best {
+				best = f
 			}
 		}
 		e.peak = best
