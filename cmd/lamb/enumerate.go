@@ -4,13 +4,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lamb"
 	"lamb/internal/report"
 )
 
-// cmdEnumerate prints an expression's algorithm set with FLOP counts —
-// the content of the paper's Figures 3 and 5 — for a concrete instance.
+// cmdEnumerate prints the generated algorithm set of any registered
+// expression with FLOP counts — the content of the paper's Figures 3
+// and 5 — for a concrete instance.
 func cmdEnumerate(args []string) error {
 	fs := flag.NewFlagSet("enumerate", flag.ExitOnError)
 	c := registerCommon(fs)
@@ -21,25 +23,16 @@ func cmdEnumerate(args []string) error {
 	}
 
 	var e lamb.Expression
-	var def lamb.Instance
 	if *terms > 0 {
 		e = lamb.NewChain(*terms)
-		def = make(lamb.Instance, *terms+1)
-		for i := range def {
-			def[i] = 100 + 50*i
-		}
 	} else {
 		var err error
 		e, err = c.expression()
 		if err != nil {
 			return err
 		}
-		if c.exprName == "chain" {
-			def = lamb.Instance{331, 279, 338, 854, 427}
-		} else {
-			def = lamb.Instance{227, 260, 549}
-		}
 	}
+	def := defaultInstance(c.exprName, e.Arity(), *terms > 0)
 	inst := def
 	if *instFlag != "" {
 		var err error
@@ -74,4 +67,23 @@ func cmdEnumerate(args []string) error {
 			tree, dp, ch.NumAlgorithms())
 	}
 	return nil
+}
+
+// defaultInstance returns the example instance printed when -inst is
+// omitted: the paper's figure instances for its expressions, a generic
+// ramp otherwise.
+func defaultInstance(exprName string, arity int, generalChain bool) lamb.Instance {
+	if !generalChain {
+		switch strings.ToLower(exprName) {
+		case "chain":
+			return lamb.Instance{331, 279, 338, 854, 427}
+		case "aatb", "lstsq":
+			return lamb.Instance{227, 260, 549}
+		}
+	}
+	def := make(lamb.Instance, arity)
+	for i := range def {
+		def[i] = 100 + 50*i
+	}
+	return def
 }

@@ -17,12 +17,14 @@
 //	bench      kernel benchmark grid (BENCH_<n>.json with -json)
 //	all        the full paper pipeline for both of the paper's expressions
 //
-// The lstsq expression (X := (A·Aᵀ+R)⁻¹·A·B) extends the study beyond
-// the paper; run it with `lamb exp1|exp2|exp3 -expr lstsq`.
+// The generated expressions extend the study beyond the paper: lstsq
+// (X := (A·Aᵀ+R)⁻¹·A·B), the Gram-chain hybrid aatbc (X := A·Aᵀ·B·C),
+// and gls (X := (A·Aᵀ+R)⁻¹·A·B·C). Run them with
+// `lamb exp1|exp2|exp3|enumerate -expr <name>`.
 //
 // Common flags (accepted by the experiment subcommands):
 //
-//	-expr chain|aatb|lstsq  expression to study (default chain)
+//	-expr NAME         expression to study: chain, aatb, lstsq, aatbc, gls (default chain)
 //	-backend sim|blas  simulated machine or measured pure-Go BLAS (default sim)
 //	-scale paper|quick paper-scale or smoke-test configuration (default quick)
 //	-seed N            master seed (default 42)
@@ -108,7 +110,8 @@ type commonFlags struct {
 
 func registerCommon(fs *flag.FlagSet) *commonFlags {
 	c := &commonFlags{}
-	fs.StringVar(&c.exprName, "expr", "chain", "expression: chain, aatb, or lstsq")
+	fs.StringVar(&c.exprName, "expr", "chain",
+		"expression: "+strings.Join(lamb.Expressions(), ", "))
 	fs.StringVar(&c.backend, "backend", "sim", "backend: sim (simulated machine) or blas (measured pure-Go BLAS)")
 	fs.StringVar(&c.scale, "scale", "quick", "scale: quick or paper")
 	fs.Uint64Var(&c.seed, "seed", 42, "master seed")
@@ -119,16 +122,7 @@ func registerCommon(fs *flag.FlagSet) *commonFlags {
 }
 
 func (c *commonFlags) expression() (lamb.Expression, error) {
-	switch c.exprName {
-	case "chain":
-		return lamb.ChainABCD(), nil
-	case "aatb":
-		return lamb.AATB(), nil
-	case "lstsq":
-		return lamb.LstSq(), nil
-	default:
-		return nil, fmt.Errorf("unknown expression %q (want chain, aatb, or lstsq)", c.exprName)
-	}
+	return lamb.LookupExpression(c.exprName)
 }
 
 func (c *commonFlags) timer() (*lamb.Timer, error) {

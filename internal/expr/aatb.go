@@ -1,16 +1,22 @@
 package expr
 
-import "lamb/internal/kernels"
+import "lamb/internal/ir"
 
 // AATB is the expression X := A·Aᵀ·B with A ∈ ℝ^{d0×d1} and B ∈ ℝ^{d0×d2}
 // (paper §3.2.2). An instance is the tuple (d0, d1, d2).
 //
-// The algorithm set combines the GEMM, SYRK, and SYMM kernels. When
-// M := A·Aᵀ is computed first there are four algorithms (SYRK or GEMM for
-// the first product × SYMM or GEMM for the second, with a triangle-to-
-// full copy inserted when SYRK feeds GEMM); when M := Aᵀ·B is computed
-// first only GEMM applies to both products, giving one more — five
-// algorithms in total (Figure 5).
+// The enumerator derives the paper's five algorithms (Figure 5) from the
+// three-factor associative product A·Aᵀ·B: when M := A·Aᵀ is computed
+// first the Gram rewrite offers SYRK or GEMM and the symmetric result
+// offers SYMM or GEMM (with a triangle-to-full copy inserted when SYRK
+// feeds GEMM) — four algorithms; when M := Aᵀ·B is computed first only
+// GEMM applies to both products — one more:
+//
+//	1: M1 := syrk(A·Aᵀ);             X := symm(M1·B)
+//	2: M1 := syrk(A·Aᵀ); tri2full;   X := gemm(M1·B)
+//	3: M1 := gemm(A·Aᵀ);             X := symm(M1·B)
+//	4: M1 := gemm(A·Aᵀ);             X := gemm(M1·B)
+//	5: M1 := gemm(Aᵀ·B);             X := gemm(A·M1)
 type AATB struct{}
 
 // NewAATB returns the AAᵀB expression.
@@ -30,76 +36,18 @@ func (e AATB) Validate(inst Instance) error {
 // NumAlgorithms returns 5, the size of the paper's algorithm set.
 func (AATB) NumAlgorithms() int { return 5 }
 
+// def builds the IR: the associative product A·Aᵀ·B.
+func (e AATB) def() *ir.Def {
+	a := ir.NewOperand("A", 0, 1)
+	b := ir.NewOperand("B", 0, 2)
+	return &ir.Def{Name: e.Name(), Arity: e.Arity(), Root: ir.Mul(a, ir.T(a), b)}
+}
+
 // Algorithms implements Expression, returning the paper's Algorithms 1–5
-// in order:
-//
-//	1: M1 := syrk(A·Aᵀ);             X := symm(M1·B)
-//	2: M1 := syrk(A·Aᵀ); tri2full;   X := gemm(M1·B)
-//	3: M1 := gemm(A·Aᵀ);             X := symm(M1·B)
-//	4: M1 := gemm(A·Aᵀ);             X := gemm(M1·B)
-//	5: M1 := gemm(Aᵀ·B);             X := gemm(A·M1)
+// in order.
 func (e AATB) Algorithms(inst Instance) []Algorithm {
 	if err := e.Validate(inst); err != nil {
 		panic(err)
 	}
-	d0, d1, d2 := inst[0], inst[1], inst[2]
-	base := func(m1 Shape) map[string]Shape {
-		return map[string]Shape{
-			"A":  {Rows: d0, Cols: d1},
-			"B":  {Rows: d0, Cols: d2},
-			"M1": m1,
-			"X":  {Rows: d0, Cols: d2},
-		}
-	}
-	sq := Shape{Rows: d0, Cols: d0}
-	rect := Shape{Rows: d1, Cols: d2}
-
-	return []Algorithm{
-		{
-			Index: 1,
-			Name:  "M1:=syrk(A·Aᵀ); X:=symm(M1·B)",
-			Calls: []kernels.Call{
-				kernels.NewSyrk(d0, d1, "A", "M1"),
-				kernels.NewSymm(d0, d2, "M1", "B", "X"),
-			},
-			Shapes: base(sq), Inputs: []string{"A", "B"}, Output: "X",
-		},
-		{
-			Index: 2,
-			Name:  "M1:=syrk(A·Aᵀ); tri2full(M1); X:=gemm(M1·B)",
-			Calls: []kernels.Call{
-				kernels.NewSyrk(d0, d1, "A", "M1"),
-				kernels.NewTri2Full(d0, "M1"),
-				kernels.NewGemm(d0, d2, d0, "M1", "B", "X", false, false),
-			},
-			Shapes: base(sq), Inputs: []string{"A", "B"}, Output: "X",
-		},
-		{
-			Index: 3,
-			Name:  "M1:=gemm(A·Aᵀ); X:=symm(M1·B)",
-			Calls: []kernels.Call{
-				kernels.NewGemm(d0, d0, d1, "A", "A", "M1", false, true),
-				kernels.NewSymm(d0, d2, "M1", "B", "X"),
-			},
-			Shapes: base(sq), Inputs: []string{"A", "B"}, Output: "X",
-		},
-		{
-			Index: 4,
-			Name:  "M1:=gemm(A·Aᵀ); X:=gemm(M1·B)",
-			Calls: []kernels.Call{
-				kernels.NewGemm(d0, d0, d1, "A", "A", "M1", false, true),
-				kernels.NewGemm(d0, d2, d0, "M1", "B", "X", false, false),
-			},
-			Shapes: base(sq), Inputs: []string{"A", "B"}, Output: "X",
-		},
-		{
-			Index: 5,
-			Name:  "M1:=gemm(Aᵀ·B); X:=gemm(A·M1)",
-			Calls: []kernels.Call{
-				kernels.NewGemm(d1, d2, d0, "A", "B", "M1", true, false),
-				kernels.NewGemm(d0, d2, d1, "A", "M1", "X", false, false),
-			},
-			Shapes: base(rect), Inputs: []string{"A", "B"}, Output: "X",
-		},
-	}
+	return ir.MustEnumerate(e.def(), inst)
 }

@@ -1,0 +1,51 @@
+package expr
+
+import "lamb/internal/ir"
+
+// AATBC is the Gram-chain hybrid expression X := A·Aᵀ·B·C with
+// A ∈ ℝ^{d0×d1}, B ∈ ℝ^{d0×d2}, and C ∈ ℝ^{d2×d3}. An instance is the
+// tuple (d0, d1, d2, d3).
+//
+// It is the smallest expression that combines the paper's two case
+// studies — a Gram product with symmetry rewrites (AAᵀB, Figure 5)
+// embedded in a matrix chain with free multiplication order (ABCD,
+// Figure 3) — and a direct probe of the paper's §5 conjecture that
+// richer expressions produce more anomalies. Hand-coding its algorithm
+// set would take fifteen bespoke call sequences; the enumerator derives
+// all of them from the four-factor product: every contraction order ×
+// SYRK/GEMM for the Gram product × SYMM/GEMM (with Tri2Full insertion)
+// wherever the symmetric intermediate is consumed.
+type AATBC struct{}
+
+// NewAATBC returns the AAᵀBC expression.
+func NewAATBC() AATBC { return AATBC{} }
+
+// aatbcDef is built once: the associative product A·Aᵀ·B·C.
+var aatbcDef = func() *ir.Def {
+	a := ir.NewOperand("A", 0, 1)
+	b := ir.NewOperand("B", 0, 2)
+	c := ir.NewOperand("C", 2, 3)
+	return &ir.Def{Name: "aatbc", Arity: 4, Root: ir.Mul(a, ir.T(a), b, c)}
+}()
+
+// Name implements Expression.
+func (AATBC) Name() string { return "aatbc" }
+
+// Arity implements Expression: instances are (d0, d1, d2, d3).
+func (AATBC) Arity() int { return 4 }
+
+// Validate implements Expression.
+func (e AATBC) Validate(inst Instance) error {
+	return validateDims(e.Name(), e.Arity(), inst)
+}
+
+// NumAlgorithms returns 15, the size of the generated set.
+func (AATBC) NumAlgorithms() int { return 15 }
+
+// Algorithms implements Expression by enumerating the IR.
+func (e AATBC) Algorithms(inst Instance) []Algorithm {
+	if err := e.Validate(inst); err != nil {
+		panic(err)
+	}
+	return ir.MustEnumerate(aatbcDef, inst)
+}

@@ -1,0 +1,180 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lamb/internal/kernels"
+	"lamb/internal/xrand"
+)
+
+func TestAATBCEnumeratesFifteenAlgorithms(t *testing.T) {
+	e := NewAATBC()
+	inst := Instance{60, 70, 80, 90}
+	algs := e.Algorithms(inst)
+	if len(algs) != 15 || e.NumAlgorithms() != 15 {
+		t.Fatalf("got %d algorithms", len(algs))
+	}
+	seen := map[string]bool{}
+	syrkCount, symmCount := 0, 0
+	for i, a := range algs {
+		if a.Index != i+1 {
+			t.Errorf("algorithm %d has index %d", i+1, a.Index)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("algorithm %d invalid: %v", i+1, err)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate algorithm %q", a.Name)
+		}
+		seen[a.Name] = true
+		for _, c := range a.Calls {
+			switch c.Kind {
+			case kernels.Syrk:
+				syrkCount++
+			case kernels.Symm:
+				symmCount++
+			}
+		}
+	}
+	// Six derivations use SYRK for the Gram product, six consume the
+	// symmetric intermediate with SYMM.
+	if syrkCount != 6 || symmCount != 6 {
+		t.Fatalf("kernel usage: %d syrk, %d symm derivations (want 6, 6)", syrkCount, symmCount)
+	}
+}
+
+func TestAATBCEmbedsAATBStructure(t *testing.T) {
+	// The first four algorithms extend the paper's AAᵀB Algorithms 1–4
+	// with a trailing ·C product; at this instance (small d0, d2 < d3)
+	// algorithm 1 is the overall FLOP minimum: SYRK halves the Gram cost
+	// and the left-to-right contraction keeps intermediates small.
+	algs := NewAATBC().Algorithms(Instance{50, 300, 200, 400})
+	if !strings.HasPrefix(algs[0].Name, "M1:=syrk(A·Aᵀ); M2:=symm(M1·B)") {
+		t.Fatalf("algorithm 1 is %q", algs[0].Name)
+	}
+	min := algs[0].Flops()
+	for _, a := range algs[1:] {
+		if a.Flops() < min {
+			t.Fatalf("algorithm %d (%q) undercuts the SYRK+SYMM derivation", a.Index, a.Name)
+		}
+	}
+}
+
+func TestAATBCFlopFormulas(t *testing.T) {
+	d0, d1, d2, d3 := 60.0, 70.0, 80.0, 90.0
+	algs := NewAATBC().Algorithms(Instance{60, 70, 80, 90})
+	// Algorithm 1: syrk + symm + gemm.
+	want1 := (d0+1)*d0*d1 + 2*d0*d0*d2 + 2*d0*d2*d3
+	if algs[0].Flops() != want1 {
+		t.Fatalf("algorithm 1 flops %v, want %v", algs[0].Flops(), want1)
+	}
+	// Algorithms 1 and 2 tie (Tri2Full is free), as do 3 and 4.
+	if algs[0].Flops() != algs[1].Flops() || algs[2].Flops() != algs[3].Flops() {
+		t.Fatal("tri2full variants must tie on FLOPs")
+	}
+}
+
+func TestGLSEnumeratesEightAlgorithms(t *testing.T) {
+	e := NewGLS()
+	inst := Instance{60, 70, 80, 90}
+	algs := e.Algorithms(inst)
+	if len(algs) != 8 || e.NumAlgorithms() != 8 {
+		t.Fatalf("got %d algorithms", len(algs))
+	}
+	for i, a := range algs {
+		if err := a.Validate(); err != nil {
+			t.Errorf("algorithm %d invalid: %v", i+1, err)
+		}
+		if len(a.Calls) != 7 {
+			t.Errorf("algorithm %d has %d calls, want 7", i+1, len(a.Calls))
+		}
+		if len(a.SPDInputs) != 1 || a.SPDInputs[0] != "R" {
+			t.Errorf("algorithm %d SPD inputs %v", i+1, a.SPDInputs)
+		}
+	}
+}
+
+func TestGLSTieGroupsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		// d0 ≥ 2: at d0 = 1 SYRK's (d0+1)·d0·d1 equals GEMM's 2·d0²·d1.
+		inst := Instance{rng.IntRange(2, 400), rng.IntRange(1, 400), rng.IntRange(1, 400), rng.IntRange(1, 400)}
+		algs := NewGLS().Algorithms(inst)
+		// Pipeline-ordering variants tie exactly: (1,2), (3,4), (5,6),
+		// (7,8); SYRK variants strictly undercut their GEMM twins.
+		for i := 0; i < 8; i += 2 {
+			if algs[i].Flops() != algs[i+1].Flops() {
+				return false
+			}
+		}
+		return algs[0].Flops() < algs[4].Flops() && algs[2].Flops() < algs[6].Flops()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGLSUsesSixKernelKinds(t *testing.T) {
+	algs := NewGLS().Algorithms(Instance{40, 50, 60, 70})
+	kinds := map[kernels.Kind]bool{}
+	for _, a := range algs {
+		for _, c := range a.Calls {
+			kinds[c.Kind] = true
+		}
+	}
+	for _, want := range []kernels.Kind{kernels.Syrk, kernels.Gemm, kernels.AddSym, kernels.Potrf, kernels.Trsm} {
+		if !kinds[want] {
+			t.Errorf("kernel kind %v unused", want)
+		}
+	}
+}
+
+func TestNewExpressionValidateRejects(t *testing.T) {
+	for _, e := range []Expression{NewAATBC(), NewGLS()} {
+		if err := e.Validate(Instance{1, 2, 3}); err == nil {
+			t.Errorf("%s accepted wrong arity", e.Name())
+		}
+		if err := e.Validate(Instance{1, 2, 0, 4}); err == nil {
+			t.Errorf("%s accepted non-positive dim", e.Name())
+		}
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	wantNames := []string{"aatb", "aatbc", "chain", "gls", "lstsq"}
+	got := Names()
+	if len(got) != len(wantNames) {
+		t.Fatalf("registry names %v", got)
+	}
+	for i, n := range wantNames {
+		if got[i] != n {
+			t.Fatalf("registry names %v, want %v", got, wantNames)
+		}
+	}
+	for _, n := range wantNames {
+		e, err := Lookup(n)
+		if err != nil {
+			t.Fatalf("lookup %q: %v", n, err)
+		}
+		algs := e.Algorithms(defaultProbe(e.Arity()))
+		if len(algs) == 0 {
+			t.Fatalf("%q generated no algorithms", n)
+		}
+	}
+	if e, err := Lookup("CHAIN"); err != nil || e.Name() != "chain-ABCD" {
+		t.Fatalf("case-insensitive lookup: %v, %v", e, err)
+	}
+	if _, err := Lookup("nope"); err == nil || !strings.Contains(err.Error(), "aatbc") {
+		t.Fatalf("unknown lookup error %v should list registered names", err)
+	}
+}
+
+func defaultProbe(arity int) Instance {
+	inst := make(Instance, arity)
+	for i := range inst {
+		inst[i] = 10 + i
+	}
+	return inst
+}

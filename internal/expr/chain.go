@@ -2,9 +2,8 @@ package expr
 
 import (
 	"fmt"
-	"strings"
 
-	"lamb/internal/kernels"
+	"lamb/internal/ir"
 )
 
 // Chain is the matrix chain expression X := A₁·A₂·…·Aₙ with n terms.
@@ -14,7 +13,9 @@ import (
 // be performed — (n−1)! algorithms. Note that this is finer-grained than
 // parenthesisations: the paper's Algorithms 2 and 5 for ABCD share the
 // tree (AB)(CD) but differ in which product is computed first, which
-// matters for inter-kernel cache effects.
+// matters for inter-kernel cache effects. The enumerator's depth-first
+// contraction visits the paper's Algorithms 1–6 in exactly the paper's
+// order for the 4-term chain.
 type Chain struct {
 	// Terms is the number of matrices in the chain (≥ 2).
 	Terms int
@@ -54,82 +55,22 @@ func (c Chain) NumAlgorithms() int {
 	return n
 }
 
-// segment is a contiguous run of the chain that has been reduced to a
-// single operand covering dims[lo..hi].
-type segment struct {
-	lo, hi int
-	id     string
+// def builds the chain's IR: an associative product of n general
+// operands, rendered in the paper's bare Figure-3 notation.
+func (c Chain) def() *ir.Def {
+	factors := make([]ir.Node, c.Terms)
+	for i := 0; i < c.Terms; i++ {
+		factors[i] = ir.NewOperand(string(rune('A'+i)), ir.Dim(i), ir.Dim(i+1))
+	}
+	return &ir.Def{Name: c.Name(), Arity: c.Arity(), Root: ir.Mul(factors...), Style: ir.StyleBare}
 }
 
-// Algorithms implements Expression, enumerating all (n−1)! multiplication
-// orders via depth-first search. For the 4-term chain the DFS visits the
-// paper's Algorithms 1–6 in exactly the paper's order.
+// Algorithms implements Expression by enumerating the chain's IR.
 func (c Chain) Algorithms(inst Instance) []Algorithm {
 	if err := c.Validate(inst); err != nil {
 		panic(err)
 	}
-	n := c.Terms
-	inputs := make([]string, n)
-	segs := make([]segment, n)
-	shapes := make(map[string]Shape, 2*n)
-	for i := 0; i < n; i++ {
-		id := string(rune('A' + i))
-		inputs[i] = id
-		segs[i] = segment{lo: i, hi: i + 1, id: id}
-		shapes[id] = Shape{Rows: inst[i], Cols: inst[i+1]}
-	}
-
-	var algs []Algorithm
-	var calls []kernels.Call
-	var steps []string
-	tempShapes := make(map[string]Shape)
-
-	var rec func(segs []segment, nextTemp int)
-	rec = func(segs []segment, nextTemp int) {
-		if len(segs) == 1 {
-			alg := Algorithm{
-				Index:  len(algs) + 1,
-				Name:   strings.Join(steps, "; "),
-				Calls:  append([]kernels.Call(nil), calls...),
-				Shapes: make(map[string]Shape, len(shapes)+len(tempShapes)),
-				Inputs: append([]string(nil), inputs...),
-				Output: "X",
-			}
-			for id, sh := range shapes {
-				alg.Shapes[id] = sh
-			}
-			for id, sh := range tempShapes {
-				alg.Shapes[id] = sh
-			}
-			algs = append(algs, alg)
-			return
-		}
-		for p := 0; p < len(segs)-1; p++ {
-			left, right := segs[p], segs[p+1]
-			m, k, nn := inst[left.lo], inst[left.hi], inst[right.hi]
-			var outID string
-			if len(segs) == 2 {
-				outID = "X"
-			} else {
-				outID = fmt.Sprintf("M%d", nextTemp)
-			}
-			tempShapes[outID] = Shape{Rows: m, Cols: nn}
-			calls = append(calls, kernels.NewGemm(m, nn, k, left.id, right.id, outID, false, false))
-			steps = append(steps, fmt.Sprintf("%s:=%s·%s", outID, left.id, right.id))
-
-			merged := make([]segment, 0, len(segs)-1)
-			merged = append(merged, segs[:p]...)
-			merged = append(merged, segment{lo: left.lo, hi: right.hi, id: outID})
-			merged = append(merged, segs[p+2:]...)
-			rec(merged, nextTemp+1)
-
-			calls = calls[:len(calls)-1]
-			steps = steps[:len(steps)-1]
-			delete(tempShapes, outID)
-		}
-	}
-	rec(segs, 1)
-	return algs
+	return ir.MustEnumerate(c.def(), inst)
 }
 
 // MinFlopsParenthesisation solves the classic matrix-chain ordering

@@ -1,108 +1,40 @@
 // Package expr defines the linear algebra expressions the paper studies
-// and enumerates their mathematically equivalent algorithms.
+// and generates their mathematically equivalent algorithm sets.
 //
-// An algorithm is a sequence of kernel calls (lamb/internal/kernels) that
-// evaluates the expression for a concrete instance (an assignment of
-// sizes to the expression's dimensions). The two expressions from the
-// paper are provided — the matrix chain ABCD with its 6 GEMM-only
-// algorithms (Figure 3) and AAᵀB with its 5 algorithms over GEMM, SYRK,
-// and SYMM (Figure 5) — together with a general n-term matrix chain
-// enumerator and the classic dynamic-programming minimum-FLOPs baseline.
+// Every expression is a thin builder over the IR in lamb/internal/ir: it
+// defines an operand tree once, and the generic enumerator derives the
+// full algorithm set — all multiplication orders, symmetry exploitation
+// (SYRK/SYMM with Tri2Full insertion), SPD-inverse lowering, and
+// common-subexpression sharing — lowered to kernels.Call sequences. The
+// expressions from the paper are provided — the matrix chain ABCD with
+// its 6 GEMM-only algorithms (Figure 3) and AAᵀB with its 5 algorithms
+// over GEMM, SYRK, and SYMM (Figure 5) — together with a general n-term
+// chain, the regularised least-squares pipeline, two richer generated
+// expressions (AAᵀBC and GLS) probing the paper's §5 conjecture, and the
+// classic dynamic-programming minimum-FLOPs baseline.
+//
+// The generated sets for the original three expressions are pinned by
+// golden tests to the pre-IR hand-coded sets, byte for byte.
 package expr
 
 import (
 	"fmt"
-	"strings"
 
-	"lamb/internal/kernels"
+	"lamb/internal/ir"
 )
 
-// Instance assigns concrete sizes to an expression's dimensions
-// (d0, d1, ... in the paper's notation).
-type Instance []int
-
-// String renders the instance as "(d0,d1,...)".
-func (in Instance) String() string {
-	parts := make([]string, len(in))
-	for i, d := range in {
-		parts[i] = fmt.Sprint(d)
-	}
-	return "(" + strings.Join(parts, ",") + ")"
-}
-
-// Clone returns an independent copy of the instance.
-func (in Instance) Clone() Instance {
-	out := make(Instance, len(in))
-	copy(out, in)
-	return out
-}
-
-// Shape is the dimensions of one operand.
-type Shape struct {
-	Rows, Cols int
-}
-
-// Algorithm is one mathematically equivalent evaluation of an expression
-// for a concrete instance: an ordered sequence of kernel calls plus the
-// shapes of every operand involved.
-type Algorithm struct {
-	// Index is the paper's 1-based algorithm number.
-	Index int
-	// Name describes the call sequence, e.g. "M1:=A·B; M2:=M1·C; X:=M2·D".
-	Name string
-	// Calls is the kernel sequence, executed in order.
-	Calls []kernels.Call
-	// Shapes maps every operand ID (inputs, temporaries, output) to its
-	// shape.
-	Shapes map[string]Shape
-	// Inputs lists the expression's input operand IDs.
-	Inputs []string
-	// SPDInputs lists the inputs that must be symmetric positive
-	// definite (e.g. the regulariser of the least-squares expression);
-	// executors materialise these accordingly.
-	SPDInputs []string
-	// Output is the ID of the final result.
-	Output string
-}
-
-// Flops returns the algorithm's total FLOP count — the discriminant the
-// paper evaluates.
-func (a *Algorithm) Flops() float64 {
-	var s float64
-	for _, c := range a.Calls {
-		s += c.Flops()
-	}
-	return s
-}
-
-// Validate checks internal consistency: every call validates, every
-// operand mentioned has a shape, and call dimensions agree with operand
-// shapes.
-func (a *Algorithm) Validate() error {
-	if len(a.Calls) == 0 {
-		return fmt.Errorf("expr: algorithm %q has no calls", a.Name)
-	}
-	for i, c := range a.Calls {
-		if err := c.Validate(); err != nil {
-			return fmt.Errorf("expr: algorithm %q call %d: %w", a.Name, i, err)
-		}
-		ids := append([]string{c.Out}, c.In...)
-		for _, id := range ids {
-			if _, ok := a.Shapes[id]; !ok {
-				return fmt.Errorf("expr: algorithm %q call %d references unknown operand %q", a.Name, i, id)
-			}
-		}
-		out := a.Shapes[c.Out]
-		if out.Rows != c.M || out.Cols != c.N {
-			return fmt.Errorf("expr: algorithm %q call %d output %q is %dx%d, call writes %dx%d",
-				a.Name, i, c.Out, out.Rows, out.Cols, c.M, c.N)
-		}
-	}
-	if _, ok := a.Shapes[a.Output]; !ok {
-		return fmt.Errorf("expr: algorithm %q output %q has no shape", a.Name, a.Output)
-	}
-	return nil
-}
+// Core modelling types, defined in lamb/internal/ir and aliased here so
+// the rest of the repository keeps importing them from expr.
+type (
+	// Instance assigns concrete sizes to an expression's dimensions
+	// (d0, d1, ... in the paper's notation).
+	Instance = ir.Instance
+	// Shape is the dimensions of one operand.
+	Shape = ir.Shape
+	// Algorithm is one mathematically equivalent evaluation of an
+	// expression for a concrete instance.
+	Algorithm = ir.Algorithm
+)
 
 // Expression is a family of problem instances together with its set of
 // mathematically equivalent algorithms.
@@ -130,3 +62,65 @@ func validateDims(name string, arity int, inst Instance) error {
 	}
 	return nil
 }
+
+// Generic is an Expression generated from an IR definition: its
+// algorithm set is whatever the enumerator derives from the tree. The
+// built-in expressions are all Generic underneath; external callers can
+// define new ones through the public builder API in package lamb.
+type Generic struct {
+	def     *ir.Def
+	numAlgs int
+}
+
+// probeInstance is a small well-formed instance used to exercise the
+// enumerator independently of any real problem sizes.
+func probeInstance(arity int) Instance {
+	probe := make(Instance, arity)
+	for i := range probe {
+		probe[i] = 2 + i
+	}
+	return probe
+}
+
+// NewGeneric validates the definition and wraps it as an Expression.
+func NewGeneric(def *ir.Def) (Generic, error) {
+	if err := def.Validate(); err != nil {
+		return Generic{}, err
+	}
+	// Fail fast on unsupported fragments: enumerate once at a probe
+	// instance so construction errors surface here, not mid-experiment.
+	algs, err := ir.Enumerate(def, probeInstance(def.Arity))
+	if err != nil {
+		return Generic{}, err
+	}
+	return Generic{def: def, numAlgs: len(algs)}, nil
+}
+
+// MustGeneric is NewGeneric panicking on error; the built-in builders
+// use it with definitions that are tested to be valid.
+func MustGeneric(def *ir.Def) Generic {
+	g, err := NewGeneric(def)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Name implements Expression.
+func (g Generic) Name() string { return g.def.Name }
+
+// Arity implements Expression.
+func (g Generic) Arity() int { return g.def.Arity }
+
+// Def exposes the underlying IR definition.
+func (g Generic) Def() *ir.Def { return g.def }
+
+// Validate implements Expression.
+func (g Generic) Validate(inst Instance) error { return g.def.ValidateInstance(inst) }
+
+// Algorithms implements Expression.
+func (g Generic) Algorithms(inst Instance) []Algorithm { return ir.MustEnumerate(g.def, inst) }
+
+// NumAlgorithms returns the size of the generated algorithm set (which
+// is instance-independent, counted once at construction).
+func (g Generic) NumAlgorithms() int { return g.numAlgs }

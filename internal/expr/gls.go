@@ -1,0 +1,57 @@
+package expr
+
+import "lamb/internal/ir"
+
+// GLS is the generalized-least-squares-style solve with a chained
+// right-hand side,
+//
+//	X := (A·Aᵀ + R)⁻¹ · A · B · C
+//
+// with A ∈ ℝ^{d0×d1}, B ∈ ℝ^{d1×d2}, C ∈ ℝ^{d2×d3}, and R ∈ ℝ^{d0×d0}
+// symmetric positive definite. An instance is (d0, d1, d2, d3).
+//
+// GLS extends LstSq one step further along the paper's §5 axis: the
+// right-hand side is itself a chain, so the generated set multiplies
+// three independent rewrite choices — SYRK versus GEMM for the Gram
+// product, both parenthesisations of A·B·C, and both orderings of the
+// factorisation pipeline versus the right-hand-side pipeline — into
+// eight algorithms over six kernel kinds. The FLOP-count structure has
+// four tie groups of two (the pipeline ordering never changes FLOPs),
+// making it a dense source of the paper's tie-breaking anomalies.
+type GLS struct{}
+
+// NewGLS returns the GLS expression.
+func NewGLS() GLS { return GLS{} }
+
+// glsDef is built once: the Gram accumulator S := A·Aᵀ + R feeding the
+// solve form S⁻¹·(A·B·C) with a free right-hand-side chain.
+var glsDef = func() *ir.Def {
+	a := ir.NewOperand("A", 0, 1)
+	b := ir.NewOperand("B", 1, 2)
+	c := ir.NewOperand("C", 2, 3)
+	r := ir.NewSPD("R", 0)
+	gram := ir.Add("S", ir.Mul(a, ir.T(a)), r)
+	return &ir.Def{Name: "gls", Arity: 4, Root: ir.Solve(gram, ir.Mul(a, b, c))}
+}()
+
+// Name implements Expression.
+func (GLS) Name() string { return "gls" }
+
+// Arity implements Expression: instances are (d0, d1, d2, d3).
+func (GLS) Arity() int { return 4 }
+
+// Validate implements Expression.
+func (e GLS) Validate(inst Instance) error {
+	return validateDims(e.Name(), e.Arity(), inst)
+}
+
+// NumAlgorithms returns 8, the size of the generated set.
+func (GLS) NumAlgorithms() int { return 8 }
+
+// Algorithms implements Expression by enumerating the IR.
+func (e GLS) Algorithms(inst Instance) []Algorithm {
+	if err := e.Validate(inst); err != nil {
+		panic(err)
+	}
+	return ir.MustEnumerate(glsDef, inst)
+}

@@ -1,6 +1,6 @@
 package expr
 
-import "lamb/internal/kernels"
+import "lamb/internal/ir"
 
 // LstSq is the regularised least-squares (normal equations) expression
 //
@@ -18,7 +18,8 @@ import "lamb/internal/kernels"
 // a Cholesky factorisation, and two triangular solves — six kernel kinds
 // in total.
 //
-// The algorithm set varies two independent choices:
+// The enumerator derives the four algorithms from two independent
+// rewrite choices:
 //
 //   - the Gram product A·Aᵀ uses SYRK (half the FLOPs) or GEMM;
 //   - the right-hand side M := A·B is computed before or after the
@@ -26,8 +27,8 @@ import "lamb/internal/kernels"
 //     cache behaviour — the analogue of the paper's chain Algorithms 2
 //     and 5).
 //
-// yielding four algorithms. Algorithms 1–2 (SYRK) tie for the minimum
-// FLOP count, exactly as the paper's AAᵀB Algorithms 1–2 do.
+// Algorithms 1–2 (SYRK) tie for the minimum FLOP count, exactly as the
+// paper's AAᵀB Algorithms 1–2 do.
 type LstSq struct{}
 
 // NewLstSq returns the regularised least-squares expression.
@@ -47,51 +48,22 @@ func (e LstSq) Validate(inst Instance) error {
 // NumAlgorithms returns 4.
 func (LstSq) NumAlgorithms() int { return 4 }
 
-// Algorithms implements Expression. Operands: A (d0×d1), B (d1×d2), R
-// (d0×d0, SPD), S (the Gram accumulator, factored in place), M (the
-// right-hand side A·B, solved in place into X).
+// def builds the IR: the Gram accumulator S := A·Aᵀ + R feeding the
+// solve form S⁻¹·(A·B). Operand naming matches the pre-IR hand-coded
+// set: S is factored in place, the right-hand side A·B lands directly
+// in X and is solved in place.
+func (e LstSq) def() *ir.Def {
+	a := ir.NewOperand("A", 0, 1)
+	b := ir.NewOperand("B", 1, 2)
+	r := ir.NewSPD("R", 0)
+	gram := ir.Add("S", ir.Mul(a, ir.T(a)), r)
+	return &ir.Def{Name: e.Name(), Arity: e.Arity(), Root: ir.Solve(gram, ir.Mul(a, b))}
+}
+
+// Algorithms implements Expression by enumerating the IR.
 func (e LstSq) Algorithms(inst Instance) []Algorithm {
 	if err := e.Validate(inst); err != nil {
 		panic(err)
 	}
-	d0, d1, d2 := inst[0], inst[1], inst[2]
-	shapes := func() map[string]Shape {
-		return map[string]Shape{
-			"A": {Rows: d0, Cols: d1},
-			"B": {Rows: d1, Cols: d2},
-			"R": {Rows: d0, Cols: d0},
-			"S": {Rows: d0, Cols: d0},
-			"X": {Rows: d0, Cols: d2},
-		}
-	}
-
-	gramSyrk := kernels.NewSyrk(d0, d1, "A", "S")
-	gramGemm := kernels.NewGemm(d0, d0, d1, "A", "A", "S", false, true)
-	add := kernels.NewAddSym(d0, "S", "R")
-	chol := kernels.NewPotrf(d0, "S")
-	rhs := kernels.NewGemm(d0, d2, d1, "A", "B", "X", false, false)
-	solve1 := kernels.NewTrsm(d0, d2, "S", "X", false)
-	solve2 := kernels.NewTrsm(d0, d2, "S", "X", true)
-
-	mk := func(idx int, name string, calls ...kernels.Call) Algorithm {
-		return Algorithm{
-			Index:     idx,
-			Name:      name,
-			Calls:     calls,
-			Shapes:    shapes(),
-			Inputs:    []string{"A", "B", "R"},
-			SPDInputs: []string{"R"},
-			Output:    "X",
-		}
-	}
-	return []Algorithm{
-		mk(1, "S:=syrk(A·Aᵀ); S+=R; L:=potrf(S); X:=gemm(A·B); trsm(L); trsm(Lᵀ)",
-			gramSyrk, add, chol, rhs, solve1, solve2),
-		mk(2, "X:=gemm(A·B); S:=syrk(A·Aᵀ); S+=R; L:=potrf(S); trsm(L); trsm(Lᵀ)",
-			rhs, gramSyrk, add, chol, solve1, solve2),
-		mk(3, "S:=gemm(A·Aᵀ); S+=R; L:=potrf(S); X:=gemm(A·B); trsm(L); trsm(Lᵀ)",
-			gramGemm, add, chol, rhs, solve1, solve2),
-		mk(4, "X:=gemm(A·B); S:=gemm(A·Aᵀ); S+=R; L:=potrf(S); trsm(L); trsm(Lᵀ)",
-			rhs, gramGemm, add, chol, solve1, solve2),
-	}
+	return ir.MustEnumerate(e.def(), inst)
 }

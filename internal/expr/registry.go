@@ -1,0 +1,38 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// registry maps CLI/API names to built-in expression constructors. The
+// paper's 4-term chain registers as "chain"; the general n-term chain
+// is parameterised and stays outside the registry.
+var registry = map[string]func() Expression{
+	"chain": func() Expression { return NewChainABCD() },
+	"aatb":  func() Expression { return NewAATB() },
+	"lstsq": func() Expression { return NewLstSq() },
+	"aatbc": func() Expression { return NewAATBC() },
+	"gls":   func() Expression { return NewGLS() },
+}
+
+// Names returns the registered expression names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the built-in expression registered under name
+// (case-insensitive).
+func Lookup(name string) (Expression, error) {
+	if mk, ok := registry[strings.ToLower(name)]; ok {
+		return mk(), nil
+	}
+	return nil, fmt.Errorf("expr: unknown expression %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
+}

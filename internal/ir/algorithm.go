@@ -1,0 +1,95 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"lamb/internal/kernels"
+)
+
+// Instance assigns concrete sizes to an expression's dimensions
+// (d0, d1, ... in the paper's notation).
+type Instance []int
+
+// String renders the instance as "(d0,d1,...)".
+func (in Instance) String() string {
+	parts := make([]string, len(in))
+	for i, d := range in {
+		parts[i] = fmt.Sprint(d)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Clone returns an independent copy of the instance.
+func (in Instance) Clone() Instance {
+	out := make(Instance, len(in))
+	copy(out, in)
+	return out
+}
+
+// Shape is the dimensions of one operand.
+type Shape struct {
+	Rows, Cols int
+}
+
+// Algorithm is one mathematically equivalent evaluation of an expression
+// for a concrete instance: an ordered sequence of kernel calls plus the
+// shapes of every operand involved.
+type Algorithm struct {
+	// Index is the paper's 1-based algorithm number.
+	Index int
+	// Name describes the call sequence, e.g. "M1:=A·B; M2:=M1·C; X:=M2·D".
+	Name string
+	// Calls is the kernel sequence, executed in order.
+	Calls []kernels.Call
+	// Shapes maps every operand ID (inputs, temporaries, output) to its
+	// shape.
+	Shapes map[string]Shape
+	// Inputs lists the expression's input operand IDs.
+	Inputs []string
+	// SPDInputs lists the inputs that must be symmetric positive
+	// definite (e.g. the regulariser of the least-squares expression);
+	// executors materialise these accordingly.
+	SPDInputs []string
+	// Output is the ID of the final result.
+	Output string
+}
+
+// Flops returns the algorithm's total FLOP count — the discriminant the
+// paper evaluates.
+func (a *Algorithm) Flops() float64 {
+	var s float64
+	for _, c := range a.Calls {
+		s += c.Flops()
+	}
+	return s
+}
+
+// Validate checks internal consistency: every call validates, every
+// operand mentioned has a shape, and call dimensions agree with operand
+// shapes.
+func (a *Algorithm) Validate() error {
+	if len(a.Calls) == 0 {
+		return fmt.Errorf("ir: algorithm %q has no calls", a.Name)
+	}
+	for i, c := range a.Calls {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("ir: algorithm %q call %d: %w", a.Name, i, err)
+		}
+		ids := append([]string{c.Out}, c.In...)
+		for _, id := range ids {
+			if _, ok := a.Shapes[id]; !ok {
+				return fmt.Errorf("ir: algorithm %q call %d references unknown operand %q", a.Name, i, id)
+			}
+		}
+		out := a.Shapes[c.Out]
+		if out.Rows != c.M || out.Cols != c.N {
+			return fmt.Errorf("ir: algorithm %q call %d output %q is %dx%d, call writes %dx%d",
+				a.Name, i, c.Out, out.Rows, out.Cols, c.M, c.N)
+		}
+	}
+	if _, ok := a.Shapes[a.Output]; !ok {
+		return fmt.Errorf("ir: algorithm %q output %q has no shape", a.Name, a.Output)
+	}
+	return nil
+}

@@ -1,0 +1,376 @@
+// Package ir defines the expression intermediate representation from
+// which all algorithm sets in this repository are generated.
+//
+// An expression is a small tree of operands, products, sums, and
+// inverses. Operands carry structural properties (general, symmetric,
+// symmetric positive definite, triangular) and reference the dimensions
+// of a problem instance symbolically, so one tree describes a whole
+// family of problems. The enumerator (Enumerate) derives the full set of
+// mathematically equivalent algorithms for a tree by rewrite rules —
+// every multiplication order of associative products, symmetry
+// exploitation (A·Aᵀ → SYRK, symmetric-operand products → SYMM, with
+// Tri2Full insertion when a triangle feeds a full-storage kernel),
+// SPD-inverse lowering to POTRF plus two TRSMs with both right-hand-side
+// orderings, and common-subexpression sharing — and lowers each
+// derivation to a kernels.Call sequence with inferred shapes, generated
+// operand names, and the paper's FLOP counts.
+//
+// The paper (§5) conjectures that anomalies become more frequent as
+// expressions grow richer; this package is what turns that from a
+// per-expression coding exercise into a one-line tree definition. The
+// hand-written expressions it replaced (the chain, AAᵀB, and the
+// least-squares pipeline in lamb/internal/expr) are regression-pinned:
+// the generated sets are byte-for-byte identical to the former
+// hand-coded ones.
+package ir
+
+import "fmt"
+
+// Dim symbolically references one dimension of a problem instance: the
+// value of Dim(i) under instance d is d[i] (the paper's dᵢ).
+type Dim int
+
+// Props is a bit set of structural operand properties. The zero value
+// is a general dense operand.
+type Props uint8
+
+const (
+	// Symmetric marks an operand equal to its own transpose.
+	Symmetric Props = 1 << iota
+	// SPD marks a symmetric positive definite operand; it implies
+	// Symmetric and licenses Cholesky-based inverse lowering.
+	SPD
+	// LowerTri marks an operand with valid data only in its lower
+	// triangle (e.g. a Cholesky factor supplied as an input).
+	LowerTri
+)
+
+// Has reports whether all properties in q are set.
+func (p Props) Has(q Props) bool { return p&q == q }
+
+// Node is one vertex of an expression tree. The concrete types are
+// *Operand, *Transpose, *Product, *Sum, and *Inverse. Nodes are
+// compared by pointer: using the same *Node twice in a tree marks a
+// shared common subexpression, which the enumerator computes once.
+type Node interface {
+	node()
+	// render is the node's symbolic form for error messages.
+	render() string
+}
+
+// Operand is a leaf: a named input matrix with symbolic dimensions and
+// structural properties.
+type Operand struct {
+	// ID names the operand ("A", "B", ...); equal IDs denote the same
+	// input and must agree in dimensions and properties.
+	ID string
+	// RowDim and ColDim reference the instance dimensions.
+	RowDim, ColDim Dim
+	// Props are the operand's structural properties.
+	Props Props
+}
+
+func (*Operand) node()            {}
+func (o *Operand) render() string { return o.ID }
+
+// NewOperand returns a general dense leaf of shape d[row] × d[col].
+func NewOperand(id string, row, col Dim) *Operand {
+	return &Operand{ID: id, RowDim: row, ColDim: col}
+}
+
+// NewSPD returns a symmetric positive definite leaf of shape
+// d[dim] × d[dim].
+func NewSPD(id string, dim Dim) *Operand {
+	return &Operand{ID: id, RowDim: dim, ColDim: dim, Props: SPD | Symmetric}
+}
+
+// NewSymmetric returns a symmetric leaf of shape d[dim] × d[dim].
+func NewSymmetric(id string, dim Dim) *Operand {
+	return &Operand{ID: id, RowDim: dim, ColDim: dim, Props: Symmetric}
+}
+
+// Transpose is the transposed view of its child. The enumerator
+// supports transposed reads of leaves (lowered to kernel transpose
+// flags); transposes of computed subexpressions are outside the
+// supported fragment.
+type Transpose struct {
+	X Node
+}
+
+func (*Transpose) node()            {}
+func (t *Transpose) render() string { return t.X.render() + "ᵀ" }
+
+// T returns the transpose of x, cancelling double transposition.
+func T(x Node) Node {
+	if t, ok := x.(*Transpose); ok {
+		return t.X
+	}
+	return &Transpose{X: x}
+}
+
+// Product is an n-ary matrix product.
+type Product struct {
+	// Factors are the product terms, left to right.
+	Factors []Node
+	// Fixed pins this grouping: the enumerator evaluates the factors
+	// left to right and does not re-associate across this node. Without
+	// it every multiplication order (the chain's (n−1)! algorithms) is
+	// enumerated.
+	Fixed bool
+	// Name optionally names the product's result operand; anonymous
+	// results get generated temporary names (M1, M2, ...).
+	Name string
+}
+
+func (*Product) node() {}
+func (p *Product) render() string {
+	s := "("
+	for i, f := range p.Factors {
+		if i > 0 {
+			s += "·"
+		}
+		s += f.render()
+	}
+	return s + ")"
+}
+
+// Mul returns the associative product of the factors: the enumerator
+// derives every multiplication order.
+func Mul(factors ...Node) *Product { return &Product{Factors: factors} }
+
+// MulFixed returns the product of the factors with the grouping pinned
+// left to right.
+func MulFixed(factors ...Node) *Product { return &Product{Factors: factors, Fixed: true} }
+
+// Sum is a two-term sum S := P + R accumulated in place into a named
+// operand: the computed term is evaluated into the sum's name and the
+// leaf term is added with AddSym. The supported fragment requires one
+// symmetric computed term and one symmetric leaf.
+type Sum struct {
+	// Terms are the two summands: one computed node and one leaf.
+	Terms []Node
+	// Name names the accumulator operand (e.g. "S"); required.
+	Name string
+}
+
+func (*Sum) node() {}
+func (s *Sum) render() string {
+	out := "("
+	for i, t := range s.Terms {
+		if i > 0 {
+			out += "+"
+		}
+		out += t.render()
+	}
+	return out + ")"
+}
+
+// Add returns the in-place sum of the terms accumulated into name.
+func Add(name string, terms ...Node) *Sum { return &Sum{Terms: terms, Name: name} }
+
+// Inverse is the matrix inverse of its child. The enumerator never
+// materialises an inverse: it must appear as the left factor of a
+// two-factor fixed product ("solve form"), where an SPD child lowers to
+// a Cholesky factorisation plus two triangular solves applied in place
+// to the right factor.
+type Inverse struct {
+	X Node
+}
+
+func (*Inverse) node()            {}
+func (i *Inverse) render() string { return i.X.render() + "⁻¹" }
+
+// Inv returns the inverse of x.
+func Inv(x Node) *Inverse { return &Inverse{X: x} }
+
+// Solve returns the solve-form product inv(s)·rhs.
+func Solve(s, rhs Node) *Product { return MulFixed(Inv(s), rhs) }
+
+// Style selects how generated algorithm names render each step.
+type Style int
+
+const (
+	// StyleKernel annotates every step with its kernel, e.g.
+	// "M1:=syrk(A·Aᵀ); X:=symm(M1·B)" — the notation of the paper's
+	// Figure 5.
+	StyleKernel Style = iota
+	// StyleBare renders plain products, e.g. "M1:=A·B; M2:=M1·C" — the
+	// notation of the paper's Figure 3 for the GEMM-only chain.
+	StyleBare
+)
+
+// Def is a complete expression definition: the tree plus the metadata
+// the enumerator needs to generate algorithm sets. The result operand
+// is always named "X".
+type Def struct {
+	// Name identifies the expression (e.g. "chain-ABCD").
+	Name string
+	// Arity is the number of dimension parameters of an instance; every
+	// Dim in the tree must be below it.
+	Arity int
+	// Root is the expression tree.
+	Root Node
+	// Style selects the algorithm naming notation.
+	Style Style
+}
+
+// Output is the fixed name of every definition's result operand.
+const Output = "X"
+
+// leaves walks the tree and returns its distinct input operands in
+// definition order, checking that repeated IDs agree in dimensions and
+// properties.
+func leaves(root Node) ([]*Operand, error) {
+	var out []*Operand
+	seen := map[string]*Operand{}
+	var walk func(n Node) error
+	walk = func(n Node) error {
+		switch n := n.(type) {
+		case *Operand:
+			if prev, ok := seen[n.ID]; ok {
+				if prev.RowDim != n.RowDim || prev.ColDim != n.ColDim || prev.Props != n.Props {
+					return fmt.Errorf("ir: operand %q redefined with different dimensions or properties", n.ID)
+				}
+				return nil
+			}
+			seen[n.ID] = n
+			out = append(out, n)
+		case *Transpose:
+			return walk(n.X)
+		case *Product:
+			for _, f := range n.Factors {
+				if err := walk(f); err != nil {
+					return err
+				}
+			}
+		case *Sum:
+			for _, t := range n.Terms {
+				if err := walk(t); err != nil {
+					return err
+				}
+			}
+		case *Inverse:
+			return walk(n.X)
+		default:
+			return fmt.Errorf("ir: unknown node type %T", n)
+		}
+		return nil
+	}
+	if root == nil {
+		return nil, fmt.Errorf("ir: nil expression root")
+	}
+	if err := walk(root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Validate checks the definition's structure: a well-formed tree,
+// consistent leaves, and dimensions within the arity. It does not run
+// the enumerator; shape consistency is checked per instance by
+// Enumerate.
+func (d *Def) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("ir: definition has no name")
+	}
+	if d.Arity <= 0 {
+		return fmt.Errorf("ir: definition %q has non-positive arity %d", d.Name, d.Arity)
+	}
+	ls, err := leaves(d.Root)
+	if err != nil {
+		return err
+	}
+	if len(ls) == 0 {
+		return fmt.Errorf("ir: definition %q has no operands", d.Name)
+	}
+	leafIDs := make(map[string]bool, len(ls))
+	for _, l := range ls {
+		if err := checkOperandName(l.ID, "operand"); err != nil {
+			return fmt.Errorf("ir: definition %q: %w", d.Name, err)
+		}
+		leafIDs[l.ID] = true
+		for _, dim := range []Dim{l.RowDim, l.ColDim} {
+			if dim < 0 || int(dim) >= d.Arity {
+				return fmt.Errorf("ir: operand %q references dimension %d outside arity %d", l.ID, dim, d.Arity)
+			}
+		}
+		if l.Props.Has(Symmetric) && l.RowDim != l.ColDim {
+			return fmt.Errorf("ir: symmetric operand %q must be square, has dims (%d, %d)", l.ID, l.RowDim, l.ColDim)
+		}
+	}
+	// Explicit node names must not collide with inputs, each other, the
+	// output, or generated temporary names.
+	named := map[string]Node{}
+	var walkNames func(n Node) error
+	walkNames = func(n Node) error {
+		var children []Node
+		name := ""
+		switch n := n.(type) {
+		case *Transpose:
+			children = []Node{n.X}
+		case *Inverse:
+			children = []Node{n.X}
+		case *Product:
+			children, name = n.Factors, n.Name
+		case *Sum:
+			children, name = n.Terms, n.Name
+		}
+		if name != "" {
+			if err := checkOperandName(name, "node name"); err != nil {
+				return fmt.Errorf("ir: definition %q: %w", d.Name, err)
+			}
+			if leafIDs[name] {
+				return fmt.Errorf("ir: definition %q: node name %q collides with an input operand", d.Name, name)
+			}
+			if prev, ok := named[name]; ok && prev != n {
+				return fmt.Errorf("ir: definition %q: node name %q used by two distinct nodes", d.Name, name)
+			}
+			named[name] = n
+		}
+		for _, c := range children {
+			if err := walkNames(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walkNames(d.Root)
+}
+
+// checkOperandName rejects empty names and names reserved for the
+// output ("X") and generated temporaries ("M1", "M2", ...).
+func checkOperandName(id, what string) error {
+	if id == "" {
+		return fmt.Errorf("unnamed %s", what)
+	}
+	if id == Output {
+		return fmt.Errorf("%s %q collides with the output operand", what, id)
+	}
+	if len(id) > 1 && id[0] == 'M' {
+		digits := true
+		for _, c := range id[1:] {
+			if c < '0' || c > '9' {
+				digits = false
+				break
+			}
+		}
+		if digits {
+			return fmt.Errorf("%s %q collides with generated temporary names", what, id)
+		}
+	}
+	return nil
+}
+
+// ValidateInstance checks that inst is a well-formed instance of the
+// definition: correct arity with positive sizes.
+func (d *Def) ValidateInstance(inst Instance) error {
+	if len(inst) != d.Arity {
+		return fmt.Errorf("ir: %s instance %v has %d dims, want %d", d.Name, inst, len(inst), d.Arity)
+	}
+	for i, v := range inst {
+		if v <= 0 {
+			return fmt.Errorf("ir: %s instance %v has non-positive d%d", d.Name, inst, i)
+		}
+	}
+	return nil
+}

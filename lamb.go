@@ -5,9 +5,13 @@
 // algorithm with the minimum FLOP count fail to select a fastest
 // algorithm? — by providing:
 //
-//   - the two expressions the paper studies (the matrix chain ABCD and
-//     AAᵀB) plus a general n-term chain, with their full sets of
-//     mathematically equivalent algorithms built from GEMM, SYRK, SYMM;
+//   - an expression IR with a generic enumerator that derives the full
+//     set of mathematically equivalent algorithms for any operand tree
+//     (multiplication orders, SYRK/SYMM symmetry rewrites, SPD-inverse
+//     lowering, common-subexpression sharing), powering the two
+//     expressions the paper studies (the matrix chain ABCD and AAᵀB), a
+//     general n-term chain, and three richer expressions (lstsq, aatbc,
+//     gls) probing the paper's §5 conjecture;
 //   - two execution backends: a deterministic simulated machine
 //     calibrated to the paper's observations, and a measured backend
 //     running a from-scratch pure-Go BLAS;
@@ -31,6 +35,7 @@ import (
 	"lamb/internal/core"
 	"lamb/internal/exec"
 	"lamb/internal/expr"
+	"lamb/internal/ir"
 	"lamb/internal/machine"
 	"lamb/internal/mat"
 	"lamb/internal/profile"
@@ -137,6 +142,82 @@ func AATB() expr.AATB { return expr.NewAATB() }
 // This extends the paper's study to a LAPACK-level kernel mix, testing
 // its §5 conjecture that richer expressions produce more anomalies.
 func LstSq() expr.LstSq { return expr.NewLstSq() }
+
+// AATBC returns the Gram-chain hybrid X := A·Aᵀ·B·C, the smallest
+// expression combining the paper's two case studies; its fifteen
+// algorithms are derived entirely by the IR enumerator (contraction
+// orders × SYRK/GEMM × SYMM/GEMM with Tri2Full insertion).
+func AATBC() expr.AATBC { return expr.NewAATBC() }
+
+// GLS returns the generalized-least-squares-style solve with a chained
+// right-hand side, X := (A·Aᵀ + R)⁻¹·A·B·C, whose eight generated
+// algorithms multiply Gram-kernel, parenthesisation, and
+// pipeline-ordering choices over six kernel kinds.
+func GLS() expr.GLS { return expr.NewGLS() }
+
+// Expressions returns the names of the registered built-in expressions.
+func Expressions() []string { return expr.Names() }
+
+// LookupExpression returns the built-in expression registered under
+// name (case-insensitive): chain, aatb, lstsq, aatbc, or gls.
+func LookupExpression(name string) (Expression, error) { return expr.Lookup(name) }
+
+// Expression IR: the builder API for defining new expressions. A tree
+// of operands, products, sums, and inverses is wrapped by
+// DefineExpression into an Expression whose algorithm set is derived by
+// the generic enumerator — all multiplication orders, SYRK/SYMM
+// symmetry rewrites with Tri2Full insertion, Cholesky-based SPD-inverse
+// lowering with both pipeline orderings, and common-subexpression
+// sharing. See DESIGN.md for the architecture and README.md for a tour.
+type (
+	// IRNode is one vertex of an expression tree.
+	IRNode = ir.Node
+	// IRDef is a complete expression definition (tree plus metadata).
+	IRDef = ir.Def
+	// GenericExpression is an Expression generated from an IR definition.
+	GenericExpression = expr.Generic
+)
+
+// Operand returns a general dense input named id with shape
+// d[row] × d[col].
+func Operand(id string, row, col int) IRNode { return ir.NewOperand(id, ir.Dim(row), ir.Dim(col)) }
+
+// SymmetricOperand returns a symmetric input of shape d[dim] × d[dim].
+func SymmetricOperand(id string, dim int) IRNode { return ir.NewSymmetric(id, ir.Dim(dim)) }
+
+// SPDOperand returns a symmetric positive definite input of shape
+// d[dim] × d[dim]; executors materialise it accordingly, and it
+// licenses Cholesky-based inverse lowering.
+func SPDOperand(id string, dim int) IRNode { return ir.NewSPD(id, ir.Dim(dim)) }
+
+// Transpose returns the transposed view of x (double transposition
+// cancels; transposing a symmetric operand is the identity).
+func Transpose(x IRNode) IRNode { return ir.T(x) }
+
+// Mul returns the associative product of the factors: the enumerator
+// derives every multiplication order. Using the same node twice marks a
+// common subexpression, computed once.
+func Mul(factors ...IRNode) IRNode { return ir.Mul(factors...) }
+
+// MulFixed returns the product with the grouping pinned left to right.
+func MulFixed(factors ...IRNode) IRNode { return ir.MulFixed(factors...) }
+
+// AddInto returns the two-term sum accumulated in place into the
+// operand named name (one computed symmetric term plus one symmetric
+// input).
+func AddInto(name string, terms ...IRNode) IRNode { return ir.Add(name, terms...) }
+
+// SolveWith returns inv(s)·rhs in solve form: an SPD s lowers to a
+// Cholesky factorisation plus two in-place triangular solves, in both
+// pipeline orderings.
+func SolveWith(s, rhs IRNode) IRNode { return ir.Solve(s, rhs) }
+
+// DefineExpression validates the tree and returns the Expression whose
+// algorithm set the enumerator derives from it. The result operand is
+// named "X"; arity is the number of instance dimensions.
+func DefineExpression(name string, arity int, root IRNode) (GenericExpression, error) {
+	return expr.NewGeneric(&ir.Def{Name: name, Arity: arity, Root: root})
+}
 
 // MinFlopsParenthesisation is the classic O(n³) dynamic program for the
 // matrix chain: minimum FLOPs over all parenthesisations plus one optimal
