@@ -24,21 +24,29 @@ func cmdBench(args []string) error {
 	short := fs.Bool("short", false, "small smoke-test grid")
 	reps := fs.Int("reps", 5, "timed repetitions per grid point")
 	workersFlag := fs.Int("workers", 0, "kernel worker cap (0 = GOMAXPROCS)")
+	algs := fs.Bool("algs", false, "also time whole algorithms of every registered expression through compiled plans")
+	compare := fs.Bool("compare", false, "compare two BENCH_<n>.json files: lamb bench -compare OLD.json NEW.json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two files: lamb bench -compare OLD.json NEW.json")
+		}
+		return compareBench(os.Stdout, fs.Arg(0), fs.Arg(1))
 	}
 	if *workersFlag > 0 {
 		defer blas.SetMaxWorkers(blas.SetMaxWorkers(*workersFlag))
 	}
 
-	rep := exec.RunBenchGrid(*short, *reps)
+	rep := exec.RunBenchGrid(*short, *reps, *algs)
 
 	fmt.Printf("lamb bench — backend %s, GOMAXPROCS %d, workers %d, peak %.2f GFLOP/s\n\n",
 		rep.Backend, rep.GoMaxProcs, rep.Workers, rep.PeakGFlops)
 	rows := [][]string{{"kernel", "m", "n", "k", "median", "GFLOP/s", "best", "allocs/op"}}
 	for _, r := range rep.Results {
 		rows = append(rows, []string{
-			r.Kernel,
+			kernelLabel(r),
 			fmt.Sprint(r.M), fmt.Sprint(r.N), fmt.Sprint(r.K),
 			fmt.Sprintf("%.3gs", r.Seconds),
 			fmt.Sprintf("%.2f", r.GFlops),
@@ -48,6 +56,22 @@ func cmdBench(args []string) error {
 	}
 	if err := report.Table(os.Stdout, rows); err != nil {
 		return err
+	}
+	if len(rep.Algorithms) > 0 {
+		fmt.Println()
+		rows := [][]string{{"expr", "inst", "alg", "calls", "median", "GFLOP/s", "best", "allocs/rep"}}
+		for _, a := range rep.Algorithms {
+			rows = append(rows, []string{
+				a.Expr, a.Inst, fmt.Sprint(a.Alg), fmt.Sprint(a.Calls),
+				fmt.Sprintf("%.3gs", a.Seconds),
+				fmt.Sprintf("%.2f", a.GFlops),
+				fmt.Sprintf("%.2f", a.BestGFlops),
+				fmt.Sprint(a.AllocsPerRep),
+			})
+		}
+		if err := report.Table(os.Stdout, rows); err != nil {
+			return err
+		}
 	}
 
 	if !*jsonOut {

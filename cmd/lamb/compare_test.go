@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lamb/internal/exec"
+)
+
+func writeBench(t *testing.T, dir, name string, rep exec.BenchReport) string {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func benchPoint(kernel string, m, n, k int, gflops float64) exec.BenchResult {
+	return exec.BenchResult{Kernel: kernel, M: m, N: n, K: k, GFlops: gflops, BestGFlops: gflops}
+}
+
+func TestCompareBenchNoRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := exec.BenchReport{Results: []exec.BenchResult{
+		benchPoint("gemm", 256, 256, 256, 20),
+		benchPoint("potrf", 256, 256, 0, 7),
+	}}
+	newRep := exec.BenchReport{Results: []exec.BenchResult{
+		benchPoint("gemm", 256, 256, 256, 25), // improved
+		benchPoint("potrf", 256, 256, 0, 6.5), // -7%, inside tolerance
+		benchPoint("trsm", 256, 256, 0, 9),    // added point
+	}}
+	oldPath := writeBench(t, dir, "old.json", oldRep)
+	newPath := writeBench(t, dir, "new.json", newRep)
+	var out strings.Builder
+	if err := compareBench(&out, oldPath, newPath); err != nil {
+		t.Fatalf("unexpected failure: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "added") {
+		t.Errorf("added point not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareBenchDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldRep := exec.BenchReport{Results: []exec.BenchResult{
+		benchPoint("gemm", 256, 256, 256, 20),
+	}}
+	newRep := exec.BenchReport{Results: []exec.BenchResult{
+		benchPoint("gemm", 256, 256, 256, 15), // -25%: beyond tolerance
+	}}
+	oldPath := writeBench(t, dir, "old.json", oldRep)
+	newPath := writeBench(t, dir, "new.json", newRep)
+	var out strings.Builder
+	err := compareBench(&out, oldPath, newPath)
+	if err == nil {
+		t.Fatalf("regression not detected:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("regression not marked in table:\n%s", out.String())
+	}
+}
+
+func TestCompareBenchDistinguishesTransposedPoints(t *testing.T) {
+	// gemm 256³ and gemm(Aᵀ) 256³ are different grid points and must not
+	// be matched against each other.
+	dir := t.TempDir()
+	plain := benchPoint("gemm", 256, 256, 256, 20)
+	transA := benchPoint("gemm", 256, 256, 256, 5)
+	transA.TransA = true
+	oldRep := exec.BenchReport{Results: []exec.BenchResult{plain, transA}}
+	newRep := exec.BenchReport{Results: []exec.BenchResult{plain, transA}}
+	oldPath := writeBench(t, dir, "old.json", oldRep)
+	newPath := writeBench(t, dir, "new.json", newRep)
+	var out strings.Builder
+	if err := compareBench(&out, oldPath, newPath); err != nil {
+		t.Fatalf("identical reports must compare clean: %v\n%s", err, out.String())
+	}
+}
+
+func TestCompareBenchAlgorithmSection(t *testing.T) {
+	dir := t.TempDir()
+	algOld := exec.AlgBenchResult{Expr: "chain", Inst: "(13,18,23,28,33)", Alg: 1, GFlops: 10}
+	algNew := algOld
+	algNew.GFlops = 4 // -60%
+	oldRep := exec.BenchReport{
+		Results:    []exec.BenchResult{benchPoint("gemm", 64, 64, 64, 20)},
+		Algorithms: []exec.AlgBenchResult{algOld},
+	}
+	newRep := exec.BenchReport{
+		Results:    []exec.BenchResult{benchPoint("gemm", 64, 64, 64, 20)},
+		Algorithms: []exec.AlgBenchResult{algNew},
+	}
+	oldPath := writeBench(t, dir, "old.json", oldRep)
+	newPath := writeBench(t, dir, "new.json", newRep)
+	var out strings.Builder
+	if err := compareBench(&out, oldPath, newPath); err == nil {
+		t.Fatalf("whole-algorithm regression not detected:\n%s", out.String())
+	}
+}
+
+func TestCompareBenchNoCommonPoints(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBench(t, dir, "old.json", exec.BenchReport{Results: []exec.BenchResult{
+		benchPoint("gemm", 64, 64, 64, 20),
+	}})
+	newPath := writeBench(t, dir, "new.json", exec.BenchReport{Results: []exec.BenchResult{
+		benchPoint("gemm", 128, 128, 128, 20),
+	}})
+	var out strings.Builder
+	if err := compareBench(&out, oldPath, newPath); err == nil {
+		t.Fatal("disjoint reports must fail the comparison")
+	}
+}

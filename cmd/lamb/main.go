@@ -14,7 +14,9 @@
 //	exp2       regions around anomalies (Figures 7, 8, 10, 11)
 //	exp3       prediction from benchmarks (Tables 1 and 2)
 //	select     algorithm-selection strategies (paper §5 conjecture)
-//	bench      kernel benchmark grid (BENCH_<n>.json with -json)
+//	bench      kernel benchmark grid (BENCH_<n>.json with -json; whole-
+//	           algorithm timings with -algs; diff two reports with
+//	           -compare OLD.json NEW.json)
 //	all        the full paper pipeline for both of the paper's expressions
 //
 // The generated expressions extend the study beyond the paper: lstsq
@@ -91,7 +93,8 @@ subcommands:
   exp2       regions around anomalies (Figures 7, 8, 10, 11)
   exp3       prediction from benchmarks (Tables 1, 2)
   select     algorithm-selection strategies
-  bench      kernel benchmark grid (writes BENCH_<n>.json with -json)
+  bench      kernel benchmark grid (writes BENCH_<n>.json with -json;
+             -algs times whole algorithms; -compare OLD NEW diffs reports)
   all        full paper pipeline
 
 run 'lamb <subcommand> -h' for flags`)

@@ -172,7 +172,14 @@ func parallelCols(nw, n int, f func(lo, hi int)) {
 // packing its own MC×KC block of A. When A has a single row block the
 // workers split the packed-B micro-panel range instead, so wide-and-short
 // products still parallelise.
-func gemmParallel(nw int, transA, transB bool, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
+func gemmParallel(nw int, transA, transB bool, alpha float64, aArg, bArg *mat.Dense, beta float64, cArg *mat.Dense) {
+	// The fan-out closures must capture copies of the operand headers,
+	// not the caller's pointers: if Gemm's parameters leaked into
+	// goroutine closures, escape analysis would force every caller-side
+	// view (mat.View in the block drivers) onto the heap, breaking the
+	// kernels' zero-allocation guarantee.
+	av, bv, cv := *aArg, *bArg, *cArg
+	a, b, c := &av, &bv, &cv
 	m, _ := opDims(a, transA)
 	k, n := opDims(b, transB)
 	bufBp := bufBPool.Get().(*[]float64)

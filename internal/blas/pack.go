@@ -6,11 +6,24 @@ import "lamb/internal/mat"
 // micro-panels of height mr: panel q holds rows [i0+q·mr, i0+(q+1)·mr)
 // stored k-major, i.e. buf[q·mr·kcb + p·mr + r] = op(A)[i0+q·mr+r, p0+p].
 // Ragged bottom panels are zero-padded so the micro-kernel never branches.
+//
+// Full-height panels take the SIMD fast paths (contiguous 8-copies for
+// the untransposed case, 4-stream register transposes for the
+// transposed case); only the ragged bottom panel runs the scalar loops.
 func packA(buf []float64, a *mat.Dense, transA bool, i0, i1, p0, p1 int) {
 	mcb, kcb := i1-i0, p1-p0
 	idx := 0
 	for q := 0; q < mcb; q += mr {
 		rows := min(mr, mcb-q)
+		if rows == mr {
+			if !transA {
+				packPanelA8(buf[idx:], a.Data[i0+q+p0*a.Stride:], kcb, a.Stride)
+			} else {
+				packPanelA8T(buf[idx:], a.Data[p0+(i0+q)*a.Stride:], kcb, a.Stride)
+			}
+			idx += mr * kcb
+			continue
+		}
 		if !transA {
 			// op(A)[i, p] = A[i, p]: column p is contiguous.
 			for p := 0; p < kcb; p++ {
@@ -44,11 +57,24 @@ func packA(buf []float64, a *mat.Dense, transA bool, i0, i1, p0, p1 int) {
 // micro-panels of width nr: panel q holds columns [j0+q·nr, j0+(q+1)·nr)
 // stored k-major, i.e. buf[q·nr·kcb + p·nr + s] = op(B)[p0+p, j0+q·nr+s].
 // Ragged right panels are zero-padded.
+//
+// Full-width panels take the SIMD fast paths (4-stream register
+// transposes for the untransposed case, contiguous 4-copies for the
+// transposed case); only the ragged right panel runs the scalar loops.
 func packB(buf []float64, b *mat.Dense, transB bool, p0, p1, j0, j1 int) {
 	kcb, ncb := p1-p0, j1-j0
 	idx := 0
 	for q := 0; q < ncb; q += nr {
 		cols := min(nr, ncb-q)
+		if cols == nr {
+			if !transB {
+				packPanelB4(buf[idx:], b.Data[p0+(j0+q)*b.Stride:], kcb, b.Stride)
+			} else {
+				packPanelB4T(buf[idx:], b.Data[j0+q+p0*b.Stride:], kcb, b.Stride)
+			}
+			idx += nr * kcb
+			continue
+		}
 		if !transB {
 			for p := 0; p < kcb; p++ {
 				row := p0 + p
@@ -99,8 +125,13 @@ func macroKernel(bufA, bufB []float64, mcb, kcb int, alpha, betaEff float64, c *
 }
 
 // mergeTile folds the rowsA×colsB valid part of a column-major mr×nr
-// scratch tile into C[i0:i0+rowsA, j0:j0+colsB].
+// scratch tile into C[i0:i0+rowsA, j0:j0+colsB]. Full tiles with
+// betaEff 0 or 1 take the vector fast path; ragged tiles and general
+// beta run the scalar loops.
 func mergeTile(tile *[mr * nr]float64, rowsA, colsB int, alpha, betaEff float64, c *mat.Dense, i0, j0 int) {
+	if mergeTileFull(tile, rowsA, colsB, alpha, betaEff, c, i0, j0) {
+		return
+	}
 	for s := 0; s < colsB; s++ {
 		off := i0 + (j0+s)*c.Stride
 		ccol := c.Data[off : off+rowsA]

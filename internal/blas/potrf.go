@@ -25,8 +25,8 @@ func Potrf(a *mat.Dense) error {
 	const nb = 64
 	for k0 := 0; k0 < n; k0 += nb {
 		k1 := min(k0+nb, n)
-		akk := a.Slice(k0, k1, k0, k1)
-		if err := potf2(akk, k0); err != nil {
+		akk := a.View(k0, k1, k0, k1)
+		if err := potf2(&akk, k0); err != nil {
 			return err
 		}
 		if k1 == n {
@@ -35,40 +35,72 @@ func Potrf(a *mat.Dense) error {
 		// Panel solve: A[k1:, k0:k1] := A[k1:, k0:k1] · L_kkᵀ⁻¹, i.e.
 		// solve X · Lᵀ = P. Equivalently solve L · Xᵀ = Pᵀ; done here
 		// column-by-column with the right-side substitution inlined.
-		panel := a.Slice(k1, n, k0, k1)
-		trsmRightLowerTrans(akk, panel)
+		panel := a.View(k1, n, k0, k1)
+		trsmRightLowerTrans(&akk, &panel)
 		// Trailing update: A[k1:, k1:] -= panel · panelᵀ (lower only).
-		trailing := a.Slice(k1, n, k1, n)
-		Syrk(mat.Lower, -1, panel, 1, trailing)
+		trailing := a.View(k1, n, k1, n)
+		Syrk(mat.Lower, -1, &panel, 1, &trailing)
 	}
 	return nil
 }
 
 // potf2 is the unblocked Cholesky of a small diagonal block; off is the
 // block's global offset, used only for error reporting.
+//
+// It is organised around rank-k updates so the O(n³) work runs through
+// the SIMD primitives: columns are factored in panels of potf2PW, and
+// once a panel is done every column to its right receives the panel's
+// whole contribution in one fused rank-4 pass (a contiguous run down the
+// column, so the AVX2 kernel applies). Within a panel the cross-column
+// updates are contiguous axpys.
 func potf2(a *mat.Dense, off int) error {
 	n := a.Rows
-	for j := 0; j < n; j++ {
-		d := a.Data[j+j*a.Stride]
-		for p := 0; p < j; p++ {
-			v := a.Data[j+p*a.Stride]
-			d -= v * v
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return fmt.Errorf("blas: potrf: leading minor of order %d is not positive definite", off+j+1)
-		}
-		d = math.Sqrt(d)
-		a.Data[j+j*a.Stride] = d
-		for i := j + 1; i < n; i++ {
-			s := a.Data[i+j*a.Stride]
-			for p := 0; p < j; p++ {
-				s -= a.Data[i+p*a.Stride] * a.Data[j+p*a.Stride]
+	const pw = potf2PW
+	for j0 := 0; j0 < n; j0 += pw {
+		jw := min(pw, n-j0)
+		// Factor the panel columns against each other (left-looking
+		// inside the panel; updates from columns left of the panel were
+		// applied by earlier trailing passes).
+		for j := j0; j < j0+jw; j++ {
+			colj := a.Data[j*a.Stride : j*a.Stride+n]
+			for t := j0; t < j; t++ {
+				colt := a.Data[t*a.Stride : t*a.Stride+n]
+				axpy(colj[j:], colt[j:], -colt[j])
 			}
-			a.Data[i+j*a.Stride] = s / d
+			d := colj[j]
+			if d <= 0 || math.IsNaN(d) {
+				return fmt.Errorf("blas: potrf: leading minor of order %d is not positive definite", off+j+1)
+			}
+			d = math.Sqrt(d)
+			colj[j] = d
+			for i := j + 1; i < n; i++ {
+				colj[i] /= d
+			}
+		}
+		// Rank-jw trailing update: column k (rows k:) loses the panel's
+		// contribution Σ_t L[k, j0+t]·L[k:, j0+t] in one fused pass.
+		for k := j0 + jw; k < n; k++ {
+			colk := a.Data[k*a.Stride : k*a.Stride+n]
+			if jw == pw {
+				var alphas [4]float64
+				for t := 0; t < pw; t++ {
+					alphas[t] = -a.Data[k+(j0+t)*a.Stride]
+				}
+				rank4(colk[k:], a.Data[j0*a.Stride+k:], a.Stride, &alphas)
+				continue
+			}
+			for t := j0; t < j0+jw; t++ {
+				colt := a.Data[t*a.Stride : t*a.Stride+n]
+				axpy(colk[k:], colt[k:], -colt[k])
+			}
 		}
 	}
 	return nil
 }
+
+// potf2PW is the potf2 panel width; it must stay 4 to match the fused
+// rank-4 SIMD update.
+const potf2PW = 4
 
 // trsmRightLowerTrans solves X·Lᵀ = B in place for lower-triangular L
 // (the panel update of the blocked Cholesky): B is m×k, L is k×k.
@@ -82,21 +114,25 @@ func trsmRightLowerTrans(l, b *mat.Dense) {
 	const nb = 32
 	for j0 := 0; j0 < k; j0 += nb {
 		j1 := min(j0+nb, k)
-		bj := b.Slice(0, m, j0, j1)
-		trsmRightLowerTransUnblocked(l.Slice(j0, j1, j0, j1), bj)
+		bj := b.View(0, m, j0, j1)
+		ljj := l.View(j0, j1, j0, j1)
+		trsmRightLowerTransUnblocked(&ljj, &bj)
 		if j1 < k {
-			Gemm(false, true, -1, bj, l.Slice(j1, k, j0, j1), 1, b.Slice(0, m, j1, k))
+			ltail := l.View(j1, k, j0, j1)
+			btail := b.View(0, m, j1, k)
+			Gemm(false, true, -1, &bj, &ltail, 1, &btail)
 		}
 	}
 }
 
-// trsmRightLowerTransUnblocked is the scalar right-side substitution on a
-// single diagonal block.
+// trsmRightLowerTransUnblocked is the right-side substitution on a
+// single diagonal block. Both inner loops run down contiguous columns of
+// B, so the update is a single SIMD axpy per (j, p) pair.
 func trsmRightLowerTransUnblocked(l, b *mat.Dense) {
 	m, k := b.Rows, l.Rows
 	for j := 0; j < k; j++ {
 		ljj := l.Data[j+j*l.Stride]
-		colj := b.Data[j*b.Stride:]
+		colj := b.Data[j*b.Stride : j*b.Stride+m]
 		for i := 0; i < m; i++ {
 			colj[i] /= ljj
 		}
@@ -105,10 +141,7 @@ func trsmRightLowerTransUnblocked(l, b *mat.Dense) {
 			if lpj == 0 {
 				continue
 			}
-			colp := b.Data[p*b.Stride:]
-			for i := 0; i < m; i++ {
-				colp[i] -= lpj * colj[i]
-			}
+			axpy(b.Data[p*b.Stride:p*b.Stride+m], colj, -lpj)
 		}
 	}
 }

@@ -1,0 +1,333 @@
+// AVX2/FMA SIMD primitives shared by the packing routines and the
+// triangular kernels: contiguous axpy and dot, the fused rank-4 column
+// update of the unblocked Cholesky, and the full-panel packing kernels
+// (contiguous copies and 4-stream register transposes). Feature
+// detection is done once at startup via cpuHasAVX2FMA (ukernel_amd64.s);
+// the Go wrappers in simd_amd64.go fall back to portable bodies.
+
+#include "textflag.h"
+
+// func axpyAVX(y, x *float64, n int, alpha float64)
+//
+// y[i] += alpha * x[i] for i in [0, n). 8 doubles per iteration, scalar
+// tail.
+TEXT ·axpyAVX(SB), NOSPLIT, $0-32
+	MOVQ         y+0(FP), DI
+	MOVQ         x+8(FP), SI
+	MOVQ         n+16(FP), CX
+	VBROADCASTSD alpha+24(FP), Y15
+	MOVQ         CX, R9
+	SHRQ         $3, R9
+	JZ           tail
+
+loop8:
+	VMOVUPD     (DI), Y0
+	VMOVUPD     32(DI), Y1
+	VFMADD231PD (SI), Y15, Y0
+	VFMADD231PD 32(SI), Y15, Y1
+	VMOVUPD     Y0, (DI)
+	VMOVUPD     Y1, 32(DI)
+	ADDQ        $64, SI
+	ADDQ        $64, DI
+	DECQ        R9
+	JNZ         loop8
+
+tail:
+	ANDQ $7, CX
+	JZ   done
+
+tail1:
+	VMOVSD       (DI), X0
+	VMOVSD       (SI), X1
+	VFMADD231SD X1, X15, X0
+	VMOVSD       X0, (DI)
+	ADDQ        $8, SI
+	ADDQ        $8, DI
+	DECQ        CX
+	JNZ         tail1
+
+done:
+	VZEROUPPER
+	RET
+
+// func dotAVX(x, y *float64, n int) float64
+//
+// Returns sum x[i]*y[i] for i in [0, n). Two vector accumulators, then a
+// horizontal reduction and a scalar tail folded into the low lane.
+TEXT ·dotAVX(SB), NOSPLIT, $0-32
+	MOVQ   x+0(FP), SI
+	MOVQ   y+8(FP), DI
+	MOVQ   n+16(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	MOVQ   CX, R9
+	SHRQ   $3, R9
+	JZ     reduce
+
+loop8:
+	VMOVUPD     (SI), Y2
+	VMOVUPD     32(SI), Y3
+	VFMADD231PD (DI), Y2, Y0
+	VFMADD231PD 32(DI), Y3, Y1
+	ADDQ        $64, SI
+	ADDQ        $64, DI
+	DECQ        R9
+	JNZ         loop8
+
+reduce:
+	VADDPD       Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD       X1, X0, X0
+	VHADDPD      X0, X0, X0
+	ANDQ         $7, CX
+	JZ           done
+
+tail1:
+	VMOVSD       (SI), X1
+	VMOVSD       (DI), X2
+	VFMADD231SD X2, X1, X0
+	ADDQ        $8, SI
+	ADDQ        $8, DI
+	DECQ        CX
+	JNZ         tail1
+
+done:
+	VMOVSD X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func rank4AVX(y, x *float64, stride, n int, alphas *[4]float64)
+//
+// y[i] += alphas[0]*x[i] + alphas[1]*x[stride+i] + alphas[2]*x[2*stride+i]
+//       + alphas[3]*x[3*stride+i] for i in [0, n): the fused rank-4
+// trailing update of the unblocked Cholesky panel factorisation.
+TEXT ·rank4AVX(SB), NOSPLIT, $0-40
+	MOVQ         y+0(FP), DI
+	MOVQ         x+8(FP), SI
+	MOVQ         stride+16(FP), R8
+	MOVQ         n+24(FP), CX
+	MOVQ         alphas+32(FP), AX
+	SHLQ         $3, R8
+	LEAQ         (SI)(R8*1), R9
+	LEAQ         (R9)(R8*1), R10
+	LEAQ         (R10)(R8*1), R11
+	VBROADCASTSD (AX), Y12
+	VBROADCASTSD 8(AX), Y13
+	VBROADCASTSD 16(AX), Y14
+	VBROADCASTSD 24(AX), Y15
+	MOVQ         CX, R12
+	SHRQ         $2, R12
+	JZ           tail
+
+loop4:
+	VMOVUPD     (DI), Y0
+	VFMADD231PD (SI), Y12, Y0
+	VFMADD231PD (R9), Y13, Y0
+	VFMADD231PD (R10), Y14, Y0
+	VFMADD231PD (R11), Y15, Y0
+	VMOVUPD     Y0, (DI)
+	ADDQ        $32, SI
+	ADDQ        $32, R9
+	ADDQ        $32, R10
+	ADDQ        $32, R11
+	ADDQ        $32, DI
+	DECQ        R12
+	JNZ         loop4
+
+tail:
+	ANDQ $3, CX
+	JZ   done
+
+tail1:
+	VMOVSD       (DI), X0
+	VMOVSD       (SI), X1
+	VFMADD231SD X1, X12, X0
+	VMOVSD       (R9), X1
+	VFMADD231SD X1, X13, X0
+	VMOVSD       (R10), X1
+	VFMADD231SD X1, X14, X0
+	VMOVSD       (R11), X1
+	VFMADD231SD X1, X15, X0
+	VMOVSD       X0, (DI)
+	ADDQ        $8, SI
+	ADDQ        $8, R9
+	ADDQ        $8, R10
+	ADDQ        $8, R11
+	ADDQ        $8, DI
+	DECQ        CX
+	JNZ         tail1
+
+done:
+	VZEROUPPER
+	RET
+
+// func mergeTileSet8x4AVX(c *float64, stride int, tile *[32]float64, alpha float64)
+//
+// C[r, s] = alpha * tile[s*8+r] for a full 8x4 micro-tile, C column-major
+// at the given stride. The betaEff==0 merge of the GEMM macro-kernel.
+TEXT ·mergeTileSet8x4AVX(SB), NOSPLIT, $0-32
+	MOVQ         c+0(FP), DI
+	MOVQ         stride+8(FP), R8
+	MOVQ         tile+16(FP), SI
+	VBROADCASTSD alpha+24(FP), Y15
+	SHLQ         $3, R8
+	MOVQ         $4, CX
+
+loop:
+	VMOVUPD (SI), Y0
+	VMOVUPD 32(SI), Y1
+	VMULPD  Y15, Y0, Y0
+	VMULPD  Y15, Y1, Y1
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    R8, DI
+	DECQ    CX
+	JNZ     loop
+	VZEROUPPER
+	RET
+
+// func mergeTileAdd8x4AVX(c *float64, stride int, tile *[32]float64, alpha float64)
+//
+// C[r, s] += alpha * tile[s*8+r] for a full 8x4 micro-tile. The
+// betaEff==1 merge of the GEMM macro-kernel.
+TEXT ·mergeTileAdd8x4AVX(SB), NOSPLIT, $0-32
+	MOVQ         c+0(FP), DI
+	MOVQ         stride+8(FP), R8
+	MOVQ         tile+16(FP), SI
+	VBROADCASTSD alpha+24(FP), Y15
+	SHLQ         $3, R8
+	MOVQ         $4, CX
+
+loop:
+	VMOVUPD     (DI), Y0
+	VMOVUPD     32(DI), Y1
+	VMOVUPD     (SI), Y2
+	VMOVUPD     32(SI), Y3
+	VFMADD231PD Y15, Y2, Y0
+	VFMADD231PD Y15, Y3, Y1
+	VMOVUPD     Y0, (DI)
+	VMOVUPD     Y1, 32(DI)
+	ADDQ        $64, SI
+	ADDQ        R8, DI
+	DECQ        CX
+	JNZ         loop
+	VZEROUPPER
+	RET
+
+// func packContig8AVX(dst, src *float64, k, stride int)
+//
+// k copies of 8 contiguous doubles: dst advances 8, src advances stride.
+// The full-height packA micro-panel (no transpose).
+TEXT ·packContig8AVX(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ k+16(FP), CX
+	MOVQ stride+24(FP), R8
+	SHLQ $3, R8
+
+loop:
+	VMOVUPD (SI), Y0
+	VMOVUPD 32(SI), Y1
+	VMOVUPD Y0, (DI)
+	VMOVUPD Y1, 32(DI)
+	ADDQ    R8, SI
+	ADDQ    $64, DI
+	DECQ    CX
+	JNZ     loop
+	VZEROUPPER
+	RET
+
+// func packContig4AVX(dst, src *float64, k, stride int)
+//
+// k copies of 4 contiguous doubles: dst advances 4, src advances stride.
+// The full-width packB micro-panel (transposed B).
+TEXT ·packContig4AVX(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ k+16(FP), CX
+	MOVQ stride+24(FP), R8
+	SHLQ $3, R8
+
+loop:
+	VMOVUPD (SI), Y0
+	VMOVUPD Y0, (DI)
+	ADDQ    R8, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     loop
+	VZEROUPPER
+	RET
+
+// func packStreams4AVX(dst, src *float64, k, stride, dstStride int)
+//
+// Interleaves four strided source streams (stream s starts at
+// src[s*stride]) into dst[p*dstStride+s] for p in [0, k): 4x4 blocks are
+// transposed in registers (VUNPCK + VPERM2F128), the remainder runs
+// scalar. dstStride is 4 for packB panels and 8 for the two half-panels
+// of a transposed packA.
+TEXT ·packStreams4AVX(SB), NOSPLIT, $0-40
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ k+16(FP), CX
+	MOVQ stride+24(FP), R8
+	MOVQ dstStride+32(FP), R13
+	SHLQ $3, R8
+	SHLQ $3, R13
+	LEAQ (SI)(R8*1), R9
+	LEAQ (R9)(R8*1), R10
+	LEAQ (R10)(R8*1), R11
+	LEAQ (R13)(R13*2), DX
+	MOVQ CX, R12
+	SHRQ $2, R12
+	JZ   tail
+
+loop4:
+	VMOVUPD    (SI), Y0
+	VMOVUPD    (R9), Y1
+	VMOVUPD    (R10), Y2
+	VMOVUPD    (R11), Y3
+	VUNPCKLPD  Y1, Y0, Y4
+	VUNPCKHPD  Y1, Y0, Y5
+	VUNPCKLPD  Y3, Y2, Y6
+	VUNPCKHPD  Y3, Y2, Y7
+	VPERM2F128 $0x20, Y6, Y4, Y8
+	VPERM2F128 $0x20, Y7, Y5, Y9
+	VPERM2F128 $0x31, Y6, Y4, Y10
+	VPERM2F128 $0x31, Y7, Y5, Y11
+	VMOVUPD    Y8, (DI)
+	VMOVUPD    Y9, (DI)(R13*1)
+	VMOVUPD    Y10, (DI)(R13*2)
+	VMOVUPD    Y11, (DI)(DX*1)
+	ADDQ       $32, SI
+	ADDQ       $32, R9
+	ADDQ       $32, R10
+	ADDQ       $32, R11
+	LEAQ       (DI)(R13*4), DI
+	DECQ       R12
+	JNZ        loop4
+
+tail:
+	ANDQ $3, CX
+	JZ   done
+
+tail1:
+	VMOVSD (SI), X0
+	VMOVSD X0, (DI)
+	VMOVSD (R9), X0
+	VMOVSD X0, 8(DI)
+	VMOVSD (R10), X0
+	VMOVSD X0, 16(DI)
+	VMOVSD (R11), X0
+	VMOVSD X0, 24(DI)
+	ADDQ  $8, SI
+	ADDQ  $8, R9
+	ADDQ  $8, R10
+	ADDQ  $8, R11
+	ADDQ  R13, DI
+	DECQ  CX
+	JNZ   tail1
+
+done:
+	VZEROUPPER
+	RET

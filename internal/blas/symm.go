@@ -42,47 +42,67 @@ func Symm(uplo mat.Uplo, alpha float64, a, b *mat.Dense, beta float64, c *mat.De
 	npanels := (m + syrkBlock - 1) / syrkBlock
 	nw := workers()
 	parallel := nw > 1 && npanels > 1 && float64(m)*float64(m)*float64(n) >= parThreshold
-	run := func(t int) {
-		i0 := t * syrkBlock
-		i1 := min(i0+syrkBlock, m)
-		cb := c.Slice(i0, i1, 0, n)
+	if !parallel {
+		// Serial sweep: panels run inline (no closure, stack views) so a
+		// steady-state call performs zero heap allocations.
 		scratch := syrkScratchPool.Get().(*mat.Dense)
-		for k0 := 0; k0 < m; k0 += syrkBlock {
-			k1 := min(k0+syrkBlock, m)
-			ab := materialiseSymBlock(scratch, a, uplo, i0, i1, k0, k1)
-			bb := b.Slice(k0, k1, 0, n)
-			betaEff := 1.0
-			if k0 == 0 {
-				betaEff = beta
-			}
-			if parallel {
-				gemmSerial(false, false, alpha, ab, bb, betaEff, cb)
-			} else {
-				Gemm(false, false, alpha, ab, bb, betaEff, cb)
-			}
+		for i0 := 0; i0 < m; i0 += syrkBlock {
+			symmPanelTask(uplo, alpha, a, b, beta, c, i0, scratch, false)
 		}
 		syrkScratchPool.Put(scratch)
+		return
 	}
-	if !parallel {
-		nw = 1 // parallelTasks runs the tasks inline
+	// The closure captures copies of the operand headers so Symm's own
+	// parameters don't leak (see gemmParallel).
+	av, bv, cv := *a, *b, *c
+	ap, bp, cp := &av, &bv, &cv
+	parallelTasks(nw, npanels, func(t int) {
+		scratch := syrkScratchPool.Get().(*mat.Dense)
+		symmPanelTask(uplo, alpha, ap, bp, beta, cp, t*syrkBlock, scratch, true)
+		syrkScratchPool.Put(scratch)
+	})
+}
+
+// symmPanelTask computes one row panel C[i0:i1, :] of the SYMM product:
+// each square block of A is materialised into scratch and multiplied
+// with the matching row block of B. With serialGemm set the panel runs
+// the serial GEMM driver (parallel callers avoid nested parallelism).
+func symmPanelTask(uplo mat.Uplo, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense, i0 int, scratch *mat.Dense, serialGemm bool) {
+	m, n := a.Rows, b.Cols
+	i1 := min(i0+syrkBlock, m)
+	cb := c.View(i0, i1, 0, n)
+	for k0 := 0; k0 < m; k0 += syrkBlock {
+		k1 := min(k0+syrkBlock, m)
+		ab := scratch.View(0, i1-i0, 0, k1-k0)
+		materialiseSymBlock(&ab, a, uplo, i0, i1, k0, k1)
+		bb := b.View(k0, k1, 0, n)
+		betaEff := 1.0
+		if k0 == 0 {
+			betaEff = beta
+		}
+		if serialGemm {
+			gemmSerial(false, false, alpha, &ab, &bb, betaEff, &cb)
+		} else {
+			Gemm(false, false, alpha, &ab, &bb, betaEff, &cb)
+		}
 	}
-	parallelTasks(nw, npanels, run)
 }
 
 // materialiseSymBlock copies the logical symmetric block A[i0:i1, k0:k1]
-// into scratch, resolving which stored triangle to read.
-func materialiseSymBlock(scratch, a *mat.Dense, uplo mat.Uplo, i0, i1, k0, k1 int) *mat.Dense {
+// into the pre-carved scratch view out, resolving which stored triangle
+// to read.
+func materialiseSymBlock(out, a *mat.Dense, uplo mat.Uplo, i0, i1, k0, k1 int) {
 	rows, cols := i1-i0, k1-k0
-	out := scratch.Slice(0, rows, 0, cols)
 	storedDirect := (uplo == mat.Lower && i0 >= k1) || (uplo == mat.Upper && k0 >= i1)
 	storedTransposed := (uplo == mat.Lower && k0 >= i1) || (uplo == mat.Upper && i0 >= k1)
 	switch {
 	case storedDirect:
 		// Entire block lies in the stored triangle.
-		mat.Copy(out, a.Slice(i0, i1, k0, k1))
+		src := a.View(i0, i1, k0, k1)
+		mat.Copy(out, &src)
 	case storedTransposed:
 		// Entire block lies in the unstored triangle: read the mirror.
-		src := a.Slice(k0, k1, i0, i1)
+		src := a.View(k0, k1, i0, i1)
 		for j := 0; j < cols; j++ {
 			for i := 0; i < rows; i++ {
 				out.Data[i+j*out.Stride] = src.Data[j+i*src.Stride]
@@ -105,5 +125,4 @@ func materialiseSymBlock(scratch, a *mat.Dense, uplo mat.Uplo, i0, i1, k0, k1 in
 			}
 		}
 	}
-	return out
 }

@@ -39,40 +39,67 @@ func Syrk(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense
 		scaleTriangle(c, uplo, beta)
 		return
 	}
-	tasks := triBlockTasks(m, uplo)
 	nw := workers()
-	parallel := nw > 1 && len(tasks) > 1 && float64(m)*float64(m)*float64(k) >= parThreshold
-	run := func(t int) {
-		blk := tasks[t]
-		aj := a.Slice(blk.j0, blk.j1, 0, k)
-		if blk.diag() {
-			// Diagonal block: compute the full square into scratch, merge
-			// the triangle.
-			scratch := syrkScratchPool.Get().(*mat.Dense)
-			sb := scratch.Slice(0, blk.j1-blk.j0, 0, blk.j1-blk.j0)
-			if parallel {
-				gemmSerial(false, true, alpha, aj, aj, 0, sb)
-			} else {
-				// Serial driver (e.g. a single diagonal block): let Gemm
-				// parallelise internally when the block is big enough.
-				Gemm(false, true, alpha, aj, aj, 0, sb)
-			}
-			mergeTriangle(c, sb, blk.j0, uplo, beta)
-			syrkScratchPool.Put(scratch)
-			return
-		}
-		ai := a.Slice(blk.i0, blk.i1, 0, k)
-		cb := c.Slice(blk.i0, blk.i1, blk.j0, blk.j1)
-		if parallel {
-			gemmSerial(false, true, alpha, ai, aj, beta, cb)
-		} else {
-			Gemm(false, true, alpha, ai, aj, beta, cb)
-		}
-	}
+	parallel := nw > 1 && m > syrkBlock && float64(m)*float64(m)*float64(k) >= parThreshold
 	if !parallel {
-		nw = 1 // parallelTasks runs the tasks inline
+		// Serial sweep: blocks are enumerated inline (no task list, no
+		// closure, all views on the stack) so a steady-state call
+		// performs zero heap allocations.
+		scratch := syrkScratchPool.Get().(*mat.Dense)
+		for j0 := 0; j0 < m; j0 += syrkBlock {
+			j1 := min(j0+syrkBlock, m)
+			syrkBlockTask(uplo, alpha, a, beta, c, triBlock{j0, j1, j0, j1}, scratch, false)
+			if uplo == mat.Lower {
+				for i0 := j1; i0 < m; i0 += syrkBlock {
+					syrkBlockTask(uplo, alpha, a, beta, c, triBlock{i0, min(i0+syrkBlock, m), j0, j1}, scratch, false)
+				}
+			} else {
+				for i0 := 0; i0 < j0; i0 += syrkBlock {
+					syrkBlockTask(uplo, alpha, a, beta, c, triBlock{i0, min(i0+syrkBlock, j0), j0, j1}, scratch, false)
+				}
+			}
+		}
+		syrkScratchPool.Put(scratch)
+		return
 	}
-	parallelTasks(nw, len(tasks), run)
+	tasks := triBlockTasks(m, uplo)
+	// The closure captures copies of the operand headers so Syrk's own
+	// parameters don't leak (see gemmParallel).
+	av, cv := *a, *c
+	ap, cp := &av, &cv
+	parallelTasks(nw, len(tasks), func(t int) {
+		scratch := syrkScratchPool.Get().(*mat.Dense)
+		syrkBlockTask(uplo, alpha, ap, beta, cp, tasks[t], scratch, true)
+		syrkScratchPool.Put(scratch)
+	})
+}
+
+// syrkBlockTask computes one triangular block of the SYRK update:
+// off-diagonal blocks are plain GEMMs on row views of A (transposed
+// right-hand side), diagonal blocks go through the scratch square with a
+// triangle merge. With serialGemm set the block runs the serial GEMM
+// driver (parallel callers avoid nested parallelism); otherwise Gemm may
+// parallelise internally (e.g. a single big diagonal block).
+func syrkBlockTask(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense, blk triBlock, scratch *mat.Dense, serialGemm bool) {
+	k := a.Cols
+	aj := a.View(blk.j0, blk.j1, 0, k)
+	if blk.diag() {
+		sb := scratch.View(0, blk.j1-blk.j0, 0, blk.j1-blk.j0)
+		if serialGemm {
+			gemmSerial(false, true, alpha, &aj, &aj, 0, &sb)
+		} else {
+			Gemm(false, true, alpha, &aj, &aj, 0, &sb)
+		}
+		mergeTriangle(c, &sb, blk.j0, uplo, beta)
+		return
+	}
+	ai := a.View(blk.i0, blk.i1, 0, k)
+	cb := c.View(blk.i0, blk.i1, blk.j0, blk.j1)
+	if serialGemm {
+		gemmSerial(false, true, alpha, &ai, &aj, beta, &cb)
+	} else {
+		Gemm(false, true, alpha, &ai, &aj, beta, &cb)
+	}
 }
 
 // triBlock is one syrkBlock×syrkBlock tile of a triangular update:

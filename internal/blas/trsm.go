@@ -40,27 +40,27 @@ func Trsm(uplo mat.Uplo, transL bool, alpha float64, l, b *mat.Dense) {
 		// Forward substitution over block rows.
 		for k0 := 0; k0 < m; k0 += nb {
 			k1 := min(k0+nb, m)
-			lkk := l.Slice(k0, k1, k0, k1)
-			bk := b.Slice(k0, k1, 0, b.Cols)
+			lkk := l.View(k0, k1, k0, k1)
+			bk := b.View(k0, k1, 0, b.Cols)
 			if transL {
 				// Block (k,k) of op(L) is L[k0:k1,k0:k1]ᵀ.
-				trsmUnblocked(uplo, true, lkk, bk)
+				trsmUnblocked(uplo, true, &lkk, &bk)
 			} else {
-				trsmUnblocked(uplo, false, lkk, bk)
+				trsmUnblocked(uplo, false, &lkk, &bk)
 			}
 			if k1 < m {
 				// Trailing update: B[k1:, :] -= op(L)[k1:, k0:k1] · X_k.
-				var lik *mat.Dense
+				var lik mat.Dense
 				var transA bool
 				if !transL {
-					lik = l.Slice(k1, m, k0, k1)
+					lik = l.View(k1, m, k0, k1)
 					transA = false
 				} else {
-					lik = l.Slice(k0, k1, k1, m)
+					lik = l.View(k0, k1, k1, m)
 					transA = true
 				}
-				btail := b.Slice(k1, m, 0, b.Cols)
-				Gemm(transA, false, -1, lik, bk, 1, btail)
+				btail := b.View(k1, m, 0, b.Cols)
+				Gemm(transA, false, -1, &lik, &bk, 1, &btail)
 			}
 		}
 		return
@@ -68,56 +68,69 @@ func Trsm(uplo mat.Uplo, transL bool, alpha float64, l, b *mat.Dense) {
 	// Backward substitution over block rows.
 	for k1 := m; k1 > 0; k1 -= nb {
 		k0 := max(k1-nb, 0)
-		lkk := l.Slice(k0, k1, k0, k1)
-		bk := b.Slice(k0, k1, 0, b.Cols)
-		trsmUnblocked(uplo, transL, lkk, bk)
+		lkk := l.View(k0, k1, k0, k1)
+		bk := b.View(k0, k1, 0, b.Cols)
+		trsmUnblocked(uplo, transL, &lkk, &bk)
 		if k0 > 0 {
-			var lik *mat.Dense
+			var lik mat.Dense
 			var transA bool
 			if !transL {
-				lik = l.Slice(0, k0, k0, k1)
+				lik = l.View(0, k0, k0, k1)
 				transA = false
 			} else {
-				lik = l.Slice(k0, k1, 0, k0)
+				lik = l.View(k0, k1, 0, k0)
 				transA = true
 			}
-			bhead := b.Slice(0, k0, 0, b.Cols)
-			Gemm(transA, false, -1, lik, bk, 1, bhead)
+			bhead := b.View(0, k0, 0, b.Cols)
+			Gemm(transA, false, -1, &lik, &bk, 1, &bhead)
 		}
 	}
 }
 
-// trsmUnblocked solves op(T)·X = B in place for a small triangular block.
+// trsmUnblocked solves op(T)·X = B in place for a small triangular
+// block. The inner loops are vectorised by orientation: untransposed
+// solves sweep column by column of T (after element p is solved, one
+// contiguous SIMD axpy removes its contribution from the remaining
+// rows); transposed solves read row i of op(T) as the contiguous column
+// i of T, so each element is one SIMD dot product.
 func trsmUnblocked(uplo mat.Uplo, transL bool, t, b *mat.Dense) {
 	m, n := t.Rows, b.Cols
 	lowerLike := (uplo == mat.Lower) != transL
-	at := func(i, j int) float64 {
-		if transL {
-			return t.Data[j+i*t.Stride]
-		}
-		return t.Data[i+j*t.Stride]
-	}
-	if lowerLike {
+	if !transL {
 		for j := 0; j < n; j++ {
-			col := b.Data[j*b.Stride:]
-			for i := 0; i < m; i++ {
-				s := col[i]
-				for p := 0; p < i; p++ {
-					s -= at(i, p) * col[p]
+			col := b.Data[j*b.Stride : j*b.Stride+m]
+			if lowerLike {
+				for p := 0; p < m; p++ {
+					tcol := t.Data[p*t.Stride:]
+					col[p] /= tcol[p]
+					if p+1 < m {
+						axpy(col[p+1:], tcol[p+1:m], -col[p])
+					}
 				}
-				col[i] = s / at(i, i)
+			} else {
+				for p := m - 1; p >= 0; p-- {
+					tcol := t.Data[p*t.Stride:]
+					col[p] /= tcol[p]
+					if p > 0 {
+						axpy(col[:p], tcol[:p], -col[p])
+					}
+				}
 			}
 		}
 		return
 	}
 	for j := 0; j < n; j++ {
-		col := b.Data[j*b.Stride:]
-		for i := m - 1; i >= 0; i-- {
-			s := col[i]
-			for p := i + 1; p < m; p++ {
-				s -= at(i, p) * col[p]
+		col := b.Data[j*b.Stride : j*b.Stride+m]
+		if lowerLike {
+			for i := 0; i < m; i++ {
+				ti := t.Data[i*t.Stride:]
+				col[i] = (col[i] - dot(ti[:i], col[:i])) / ti[i]
 			}
-			col[i] = s / at(i, i)
+		} else {
+			for i := m - 1; i >= 0; i-- {
+				ti := t.Data[i*t.Stride:]
+				col[i] = (col[i] - dot(ti[i+1:m], col[i+1:m])) / ti[i]
+			}
 		}
 	}
 }

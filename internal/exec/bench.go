@@ -8,10 +8,12 @@ package exec
 // Measured.Peak reuses BenchCall for its attainable-rate estimate.
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
 	"lamb/internal/blas"
+	"lamb/internal/expr"
 	"lamb/internal/kernels"
 	"lamb/internal/stats"
 	"lamb/internal/xrand"
@@ -25,6 +27,9 @@ type BenchResult struct {
 	M int `json:"m"`
 	N int `json:"n,omitempty"`
 	K int `json:"k,omitempty"`
+	// TransA and TransB record transposed reads (GEMM grid points).
+	TransA bool `json:"transa,omitempty"`
+	TransB bool `json:"transb,omitempty"`
 	// Reps is the number of timed repetitions behind the medians.
 	Reps int `json:"reps"`
 	// Seconds is the median per-call wall time; BestSeconds the fastest.
@@ -36,6 +41,33 @@ type BenchResult struct {
 	BestGFlops float64 `json:"best_gflops"`
 	// AllocsPerOp counts heap allocations during one steady-state call.
 	AllocsPerOp uint64 `json:"allocs_per_op"`
+}
+
+// AlgBenchResult is one whole-algorithm timed point: an algorithm of a
+// registered expression executed end to end through a compiled plan with
+// the full measurement protocol (in-place input refill, cache flush,
+// per-call timing).
+type AlgBenchResult struct {
+	// Expr and Inst identify the expression and the instance sizes.
+	Expr string `json:"expr"`
+	Inst string `json:"inst"`
+	// Alg is the paper's 1-based algorithm index; Calls its call count.
+	Alg   int `json:"alg"`
+	Calls int `json:"calls"`
+	// Reps is the number of timed repetitions behind the medians.
+	Reps int `json:"reps"`
+	// Seconds is the median total (summed per-call) wall time;
+	// BestSeconds the fastest repetition.
+	Seconds     float64 `json:"seconds"`
+	BestSeconds float64 `json:"best_seconds"`
+	// GFlops and BestGFlops convert those times with the algorithm's
+	// attributed FLOP count.
+	GFlops     float64 `json:"gflops"`
+	BestGFlops float64 `json:"best_gflops"`
+	// AllocsPerRep counts heap allocations during one steady-state
+	// repetition — flush, fill, and all kernel calls included. Zero on a
+	// serial host is the compiled-plan guarantee.
+	AllocsPerRep uint64 `json:"allocs_per_rep"`
 }
 
 // BenchReport is a full benchmark-grid run, serialised to BENCH_<n>.json
@@ -50,23 +82,33 @@ type BenchReport struct {
 	// PeakGFlops is the attainable-rate estimate (Measured.Peak / 1e9).
 	PeakGFlops float64       `json:"peak_gflops"`
 	Results    []BenchResult `json:"results"`
+	// Algorithms holds the whole-algorithm timing points (lamb bench
+	// -algs); absent from kernel-only runs.
+	Algorithms []AlgBenchResult `json:"algorithms,omitempty"`
 }
 
-// BenchCall times a single kernel call reps times on freshly materialised
-// operands (in-place kernels like POTRF and TRSM need fresh inputs every
-// repetition) and counts steady-state heap allocations for one call.
+// BenchCall times a single kernel call reps times through a compiled
+// single-call plan. Operands are refilled in place per repetition
+// (in-place kernels like POTRF and TRSM need fresh inputs every time),
+// so the steady-state repetitions perform no heap allocations; the
+// recorded AllocsPerOp pins that down.
 func BenchCall(call kernels.Call, reps int, rng *xrand.Rand) BenchResult {
 	if reps < 1 {
 		reps = 1
 	}
+	p, err := CompileCallPlan(call)
+	if err != nil {
+		panic(fmt.Sprintf("exec: %v", err))
+	}
 	// Warm up: populate the packing-buffer pools and the instruction
 	// cache so the timed repetitions see steady state.
-	Dispatch(call, operandsForCall(call, rng))
+	p.FillInputs(rng)
+	p.Execute()
 	times := make([]float64, reps)
 	for r := range times {
-		ops := operandsForCall(call, rng)
+		p.FillInputs(rng)
 		start := time.Now()
-		Dispatch(call, ops)
+		p.Execute()
 		times[r] = time.Since(start).Seconds()
 	}
 	best := times[0]
@@ -78,10 +120,10 @@ func BenchCall(call kernels.Call, reps int, rng *xrand.Rand) BenchResult {
 	med := stats.Median(times)
 	// Allocation count for one call, measured outside the timed loop so
 	// ReadMemStats doesn't pollute the timings.
-	ops := operandsForCall(call, rng)
+	p.FillInputs(rng)
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
-	Dispatch(call, ops)
+	p.Execute()
 	runtime.ReadMemStats(&m1)
 	flops := call.Flops()
 	return BenchResult{
@@ -89,6 +131,8 @@ func BenchCall(call kernels.Call, reps int, rng *xrand.Rand) BenchResult {
 		M:           call.M,
 		N:           call.N,
 		K:           call.K,
+		TransA:      call.TransA,
+		TransB:      call.TransB,
 		Reps:        reps,
 		Seconds:     med,
 		BestSeconds: best,
@@ -96,6 +140,77 @@ func BenchCall(call kernels.Call, reps int, rng *xrand.Rand) BenchResult {
 		BestGFlops:  flops / best / 1e9,
 		AllocsPerOp: m1.Mallocs - m0.Mallocs,
 	}
+}
+
+// BenchAlgorithm times one algorithm end to end on the measured executor
+// with the full repetition protocol, recording median and best totals
+// plus the per-repetition allocation count.
+func BenchAlgorithm(e *Measured, exprName string, inst expr.Instance, alg *expr.Algorithm, reps int) AlgBenchResult {
+	if reps < 1 {
+		reps = 1
+	}
+	totals := make([]float64, reps)
+	e.TimeAlgorithm(alg, 0) // warm up: compiles the plan
+	for r := range totals {
+		var sum float64
+		for _, t := range e.TimeAlgorithm(alg, uint64(r)) {
+			sum += t
+		}
+		totals[r] = sum
+	}
+	best := totals[0]
+	for _, t := range totals {
+		if t < best {
+			best = t
+		}
+	}
+	med := stats.Median(totals)
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	e.TimeAlgorithm(alg, 0)
+	runtime.ReadMemStats(&m1)
+	flops := alg.Flops()
+	return AlgBenchResult{
+		Expr:         exprName,
+		Inst:         inst.String(),
+		Alg:          alg.Index,
+		Calls:        len(alg.Calls),
+		Reps:         reps,
+		Seconds:      med,
+		BestSeconds:  best,
+		GFlops:       flops / med / 1e9,
+		BestGFlops:   flops / best / 1e9,
+		AllocsPerRep: m1.Mallocs - m0.Mallocs,
+	}
+}
+
+// benchInstance is the fixed quick instance the whole-algorithm bench
+// uses for an expression of the given arity: sizes around 200, staggered
+// so no two dimensions coincide.
+func benchInstance(arity int) expr.Instance {
+	inst := make(expr.Instance, arity)
+	for i := range inst {
+		inst[i] = 160 + 32*i
+	}
+	return inst
+}
+
+// RunAlgBench times every algorithm of every registered expression at a
+// fixed quick instance through compiled plans.
+func RunAlgBench(e *Measured, reps int) []AlgBenchResult {
+	var out []AlgBenchResult
+	for _, name := range expr.Names() {
+		ex, err := expr.Lookup(name)
+		if err != nil {
+			panic(err)
+		}
+		inst := benchInstance(ex.Arity())
+		algs := ex.Algorithms(inst)
+		for i := range algs {
+			out = append(out, BenchAlgorithm(e, name, inst, &algs[i], reps))
+		}
+	}
+	return out
 }
 
 // benchGrid returns the fixed kernel/shape grid: square and skinny GEMMs
@@ -106,6 +221,7 @@ func benchGrid(short bool) []kernels.Call {
 		return []kernels.Call{
 			kernels.NewGemm(96, 96, 96, "A", "B", "C", false, false),
 			kernels.NewGemm(192, 192, 192, "A", "B", "C", false, false),
+			kernels.NewGemm(96, 96, 96, "A", "B", "C", true, false),
 			kernels.NewSyrk(128, 64, "A", "C"),
 			kernels.NewSymm(128, 128, "A", "B", "C"),
 			kernels.NewTrsm(128, 128, "L", "B", false),
@@ -117,19 +233,26 @@ func benchGrid(short bool) []kernels.Call {
 		kernels.NewGemm(256, 256, 256, "A", "B", "C", false, false),
 		kernels.NewGemm(512, 512, 512, "A", "B", "C", false, false),
 		kernels.NewGemm(512, 512, 16, "A", "B", "C", false, false),
+		kernels.NewGemm(512, 512, 64, "A", "B", "C", false, false),
 		kernels.NewGemm(512, 16, 512, "A", "B", "C", false, false),
+		// Transposed reads exercise the strided packing paths (packAᵀ
+		// and packB non-transposed are the interleaving cases).
+		kernels.NewGemm(256, 256, 256, "A", "B", "C", true, false),
+		kernels.NewGemm(256, 256, 256, "A", "B", "C", false, true),
 		kernels.NewSyrk(256, 64, "A", "C"),
 		kernels.NewSyrk(256, 256, "A", "C"),
 		kernels.NewSymm(256, 256, "A", "B", "C"),
 		kernels.NewTrsm(256, 256, "L", "B", false),
+		kernels.NewTrsm(256, 32, "L", "B", true),
 		kernels.NewPotrf(256, "S"),
 		kernels.NewPotrf(512, "S"),
 	}
 }
 
 // RunBenchGrid runs the fixed benchmark grid on the measured backend and
-// assembles the report.
-func RunBenchGrid(short bool, reps int) BenchReport {
+// assembles the report. With algs set, every algorithm of every
+// registered expression is also timed end to end through compiled plans.
+func RunBenchGrid(short bool, reps int, algs bool) BenchReport {
 	e := NewMeasured()
 	rng := xrand.New(0xbe9c4)
 	rep := BenchReport{
@@ -140,6 +263,9 @@ func RunBenchGrid(short bool, reps int) BenchReport {
 	}
 	for _, call := range benchGrid(short) {
 		rep.Results = append(rep.Results, BenchCall(call, reps, rng))
+	}
+	if algs {
+		rep.Algorithms = RunAlgBench(e, reps)
 	}
 	return rep
 }

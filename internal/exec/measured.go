@@ -31,6 +31,15 @@ type Measured struct {
 
 	peakOnce sync.Once
 	peak     float64
+
+	// Single-entry plan caches. The Timer protocol runs Reps consecutive
+	// repetitions of the same algorithm (or call), so one slot captures
+	// all the reuse while keeping memory bounded across an experiment's
+	// many instances. Measured is not safe for concurrent use (it never
+	// was: the fill stream and flush buffer are shared).
+	algPlan  *Plan
+	callPlan *Plan
+	callKey  kernels.Key
 }
 
 // NewMeasured returns a measured executor with default settings.
@@ -55,33 +64,19 @@ func (e *Measured) flushCache() {
 	}
 }
 
-// materialise allocates and fills every operand of the algorithm.
-// Inputs get random contents (SPD inputs get a well-conditioned SPD
-// matrix so in-place Cholesky factorisations succeed); temporaries and
-// the output are zeroed.
-func (e *Measured) materialise(alg *expr.Algorithm) map[string]*mat.Dense {
-	ops := make(map[string]*mat.Dense, len(alg.Shapes))
-	inputs := make(map[string]bool, len(alg.Inputs))
-	for _, id := range alg.Inputs {
-		inputs[id] = true
-	}
-	spd := make(map[string]bool, len(alg.SPDInputs))
-	for _, id := range alg.SPDInputs {
-		spd[id] = true
-	}
-	for id, sh := range alg.Shapes {
-		var m *mat.Dense
-		switch {
-		case spd[id]:
-			m = mat.NewSPDRandom(sh.Rows, e.fillRng)
-		case inputs[id]:
-			m = mat.NewRandom(sh.Rows, sh.Cols, e.fillRng)
-		default:
-			m = mat.New(sh.Rows, sh.Cols)
+// plan returns the compiled plan for alg, compiling on first sight. The
+// cache holds one entry: the measurement protocol repeats the same
+// algorithm back to back, so this captures every repetition after the
+// first while staying bounded.
+func (e *Measured) plan(alg *expr.Algorithm) *Plan {
+	if e.algPlan == nil || e.algPlan.Alg() != alg {
+		p, err := CompilePlan(alg)
+		if err != nil {
+			panic(fmt.Sprintf("exec: %v", err))
 		}
-		ops[id] = m
+		e.algPlan = p
 	}
-	return ops
+	return e.algPlan
 }
 
 // Dispatch executes a single call on the operand map using the pure-Go
@@ -112,98 +107,55 @@ func Dispatch(call kernels.Call, ops map[string]*mat.Dense) {
 }
 
 // EvaluateAlgorithm runs the algorithm's calls on the provided input
-// operands and returns the final result. It allocates temporaries and the
-// output from the algorithm's shape table. This is the correctness path:
-// all algorithms of an expression must produce (numerically) the same
-// result.
+// operands and returns the final result. It compiles a fresh plan, so
+// temporaries live in a zeroed arena and the caller's inputs are copied,
+// never mutated. This is the correctness path: all algorithms of an
+// expression must produce (numerically) the same result.
 func EvaluateAlgorithm(alg *expr.Algorithm, inputs map[string]*mat.Dense) *mat.Dense {
-	ops := make(map[string]*mat.Dense, len(alg.Shapes))
-	for id, sh := range alg.Shapes {
-		if in, ok := inputs[id]; ok {
-			if in.Rows != sh.Rows || in.Cols != sh.Cols {
-				panic(fmt.Sprintf("exec: input %q is %dx%d, algorithm expects %dx%d",
-					id, in.Rows, in.Cols, sh.Rows, sh.Cols))
-			}
-			ops[id] = in
-			continue
+	p, err := CompilePlan(alg)
+	if err != nil {
+		panic(fmt.Sprintf("exec: %v", err))
+	}
+	for id, in := range inputs {
+		if _, ok := alg.Shapes[id]; !ok {
+			continue // extra inputs are ignored, matching the map-based path
 		}
-		ops[id] = mat.New(sh.Rows, sh.Cols)
+		p.SetInput(id, in)
 	}
-	for _, call := range alg.Calls {
-		Dispatch(call, ops)
-	}
-	return ops[alg.Output]
+	p.Execute()
+	return p.Output()
 }
 
-// TimeAlgorithm implements Executor.
+// TimeAlgorithm implements Executor: inputs are refilled in place from
+// the deterministic stream, the cache is flushed, and the pre-compiled
+// plan runs with per-call timing. After the plan is compiled (first
+// repetition), nothing on this path allocates — in particular, nothing
+// allocates between the cache flush and the first kernel call. The
+// returned slice is owned by the executor and reused by the next call.
 func (e *Measured) TimeAlgorithm(alg *expr.Algorithm, rep uint64) []float64 {
-	ops := e.materialise(alg)
+	p := e.plan(alg)
+	p.FillInputs(e.fillRng)
 	e.flushCache()
-	times := make([]float64, len(alg.Calls))
-	for i, call := range alg.Calls {
-		start := time.Now()
-		Dispatch(call, ops)
-		times[i] = time.Since(start).Seconds()
-	}
-	return times
+	return p.ExecuteTimed()
 }
 
-// TimeCallCold implements Executor: the call runs on freshly allocated
-// operands after a cache flush.
+// TimeCallCold implements Executor: the call runs through a compiled
+// single-call plan whose operands are refilled in place after the first
+// repetition, so no allocation happens after the cache flush.
 func (e *Measured) TimeCallCold(call kernels.Call, rep uint64) float64 {
-	ops := operandsForCall(call, e.fillRng)
+	if key := call.MemoKey(); e.callPlan == nil || e.callKey != key {
+		p, err := CompileCallPlan(call)
+		if err != nil {
+			panic(fmt.Sprintf("exec: %v", err))
+		}
+		e.callPlan, e.callKey = p, key
+	}
+	p := e.callPlan
+	p.FillInputs(e.fillRng)
 	e.flushCache()
 	start := time.Now()
-	Dispatch(call, ops)
+	p.Execute()
 	return time.Since(start).Seconds()
-}
-
-// operandsForCall allocates the minimal operand set for one call.
-func operandsForCall(call kernels.Call, rng *xrand.Rand) map[string]*mat.Dense {
-	ops := make(map[string]*mat.Dense, 3)
-	alloc := func(id string, r, c int) {
-		if _, ok := ops[id]; !ok {
-			ops[id] = mat.NewRandom(r, c, rng)
-		}
-	}
-	switch call.Kind {
-	case kernels.Gemm:
-		ar, ac := call.M, call.K
-		if call.TransA {
-			ar, ac = call.K, call.M
-		}
-		br, bc := call.K, call.N
-		if call.TransB {
-			br, bc = call.N, call.K
-		}
-		alloc(call.In[0], ar, ac)
-		alloc(call.In[1], br, bc)
-	case kernels.Syrk:
-		alloc(call.In[0], call.M, call.K)
-	case kernels.Symm:
-		alloc(call.In[0], call.M, call.M)
-		alloc(call.In[1], call.M, call.N)
-	case kernels.Tri2Full:
-		// In == Out; handled below.
-	case kernels.Potrf:
-		// The factorisation runs in place on an SPD operand.
-		ops[call.Out] = mat.NewSPDRandom(call.M, rng)
-	case kernels.Trsm:
-		// L must be a usable triangular factor: diagonally dominant.
-		l := mat.NewRandom(call.M, call.M, rng)
-		for i := 0; i < call.M; i++ {
-			l.Set(i, i, 4+rng.Float64())
-		}
-		ops[call.In[0]] = l
-	case kernels.AddSym:
-		ops[call.In[1]] = mat.NewRandom(call.M, call.M, rng)
-	default:
-		panic(fmt.Sprintf("exec: operands for unknown kind %v", call.Kind))
-	}
-	if _, ok := ops[call.Out]; !ok {
-		ops[call.Out] = mat.NewRandom(call.M, call.N, rng)
-	}
-	return ops
 }
 
 // Peak implements Executor: an estimate of the machine's attainable FLOP

@@ -1,0 +1,8 @@
+//go:build race
+
+package exec
+
+// raceEnabled reports whether the race detector is active; under -race
+// sync.Pool deliberately drops items, so allocation-count tests are
+// skipped.
+const raceEnabled = true

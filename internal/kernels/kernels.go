@@ -219,6 +219,109 @@ func (c Call) String() string {
 	return s + ")"
 }
 
+// FillKind says how an executor must materialise an operand before a
+// call can run on it in isolation. Operand *contents* never influence
+// BLAS timing (dense unstructured inputs), but structural requirements
+// do: an in-place Cholesky needs an SPD operand, a triangular solve
+// needs a non-singular factor.
+type FillKind int
+
+const (
+	// FillZero marks a temporary: its contents are produced by the
+	// algorithm, so a zeroed buffer suffices.
+	FillZero FillKind = iota
+	// FillRandom marks a dense unstructured operand.
+	FillRandom
+	// FillSPD marks an operand that must be symmetric positive definite
+	// (it is consumed by an in-place Cholesky factorisation).
+	FillSPD
+	// FillDiagDominant marks a triangular-factor operand: random with a
+	// boosted diagonal, so forward/backward substitution is stable.
+	FillDiagDominant
+)
+
+// String returns the fill kind's name.
+func (f FillKind) String() string {
+	switch f {
+	case FillZero:
+		return "zero"
+	case FillRandom:
+		return "random"
+	case FillSPD:
+		return "spd"
+	case FillDiagDominant:
+		return "diagdominant"
+	default:
+		return fmt.Sprintf("FillKind(%d)", int(f))
+	}
+}
+
+// OperandSpec describes one distinct operand slot of a call: its ID, its
+// stored shape, how it must be materialised for an isolated run, and
+// whether the call writes it. This is the call→plan metadata the
+// execution-plan compiler (lamb/internal/exec) uses to size arena slots
+// and bind kernel arguments without per-kind switches.
+type OperandSpec struct {
+	ID         string
+	Rows, Cols int
+	Fill       FillKind
+	Written    bool
+}
+
+// Operands returns the call's distinct operands in argument order
+// (inputs first, then the output unless it aliases an input). In-place
+// calls (POTRF, TRSM, AddSym, Tri2Full) report the aliased operand once,
+// with Written set.
+func (c Call) Operands() []OperandSpec {
+	switch c.Kind {
+	case Gemm:
+		ar, ac := c.M, c.K
+		if c.TransA {
+			ar, ac = c.K, c.M
+		}
+		br, bc := c.K, c.N
+		if c.TransB {
+			br, bc = c.N, c.K
+		}
+		return []OperandSpec{
+			{ID: c.In[0], Rows: ar, Cols: ac, Fill: FillRandom},
+			{ID: c.In[1], Rows: br, Cols: bc, Fill: FillRandom},
+			{ID: c.Out, Rows: c.M, Cols: c.N, Fill: FillRandom, Written: true},
+		}
+	case Syrk:
+		return []OperandSpec{
+			{ID: c.In[0], Rows: c.M, Cols: c.K, Fill: FillRandom},
+			{ID: c.Out, Rows: c.M, Cols: c.M, Fill: FillRandom, Written: true},
+		}
+	case Symm:
+		return []OperandSpec{
+			{ID: c.In[0], Rows: c.M, Cols: c.M, Fill: FillRandom},
+			{ID: c.In[1], Rows: c.M, Cols: c.N, Fill: FillRandom},
+			{ID: c.Out, Rows: c.M, Cols: c.N, Fill: FillRandom, Written: true},
+		}
+	case Tri2Full:
+		return []OperandSpec{
+			{ID: c.Out, Rows: c.M, Cols: c.M, Fill: FillRandom, Written: true},
+		}
+	case Potrf:
+		return []OperandSpec{
+			{ID: c.Out, Rows: c.M, Cols: c.M, Fill: FillSPD, Written: true},
+		}
+	case Trsm:
+		return []OperandSpec{
+			{ID: c.In[0], Rows: c.M, Cols: c.M, Fill: FillDiagDominant},
+			{ID: c.Out, Rows: c.M, Cols: c.N, Fill: FillRandom, Written: true},
+		}
+	case AddSym:
+		return []OperandSpec{
+			{ID: c.Out, Rows: c.M, Cols: c.M, Fill: FillRandom, Written: true},
+			{ID: c.In[1], Rows: c.M, Cols: c.M, Fill: FillRandom},
+		}
+	default:
+		panic(fmt.Sprintf("kernels: Operands of unknown kind %v", c.Kind))
+	}
+}
+
 // Key returns a comparable identity for benchmark memoisation: two calls
 // with equal keys have identical performance characteristics (same kind,
 // dimensions, and transposition pattern), regardless of operand IDs.

@@ -26,24 +26,44 @@ func NewRandom(r, c int, rng *xrand.Rand) *Dense {
 // definite n-by-n matrix (G·Gᵀ/n + I with G random), suitable as input
 // to a Cholesky factorisation.
 func NewSPDRandom(n int, rng *xrand.Rand) *Dense {
-	g := NewRandom(n, n, rng)
 	s := New(n, n)
+	s.FillSPD(make([]float64, n*n), rng)
+	return s
+}
+
+// FillSPD fills the square matrix m in place with a well-conditioned
+// random symmetric positive definite matrix (G·Gᵀ/n + I with G random).
+// scratch holds G during the fill and must have at least Rows·Rows
+// elements; passing a reusable buffer makes repeated fills allocation-
+// free (the execution-plan executor refills SPD inputs this way on
+// every repetition).
+func (m *Dense) FillSPD(scratch []float64, rng *xrand.Rand) {
+	n := m.Rows
+	if m.Cols != n {
+		panic("mat: FillSPD of non-square matrix")
+	}
+	if len(scratch) < n*n {
+		panic("mat: FillSPD scratch too short")
+	}
+	g := scratch[:n*n]
+	for i := range g {
+		g[i] = 2*rng.Float64() - 1
+	}
 	inv := 1 / float64(n)
 	for j := 0; j < n; j++ {
 		for i := j; i < n; i++ {
 			var acc float64
 			for p := 0; p < n; p++ {
-				acc += g.Data[i+p*g.Stride] * g.Data[j+p*g.Stride]
+				acc += g[i+p*n] * g[j+p*n]
 			}
 			v := acc * inv
 			if i == j {
 				v++
 			}
-			s.Data[i+j*s.Stride] = v
-			s.Data[j+i*s.Stride] = v
+			m.Data[i+j*m.Stride] = v
+			m.Data[j+i*m.Stride] = v
 		}
 	}
-	return s
 }
 
 // NewSymmetricRandom returns a new random symmetric n-by-n matrix.

@@ -81,6 +81,22 @@ func (m *Dense) Slice(i0, i1, j0, j1 int) *Dense {
 	}
 }
 
+// View is Slice returning a Dense value instead of a heap-allocated
+// header: the BLAS block drivers carve their working views this way so
+// that a kernel call performs no allocations (the view stays on the
+// caller's stack as long as the callee does not retain it).
+func (m *Dense) View(i0, i1, j0, j1 int) Dense {
+	if i0 < 0 || i1 < i0 || i1 > m.Rows || j0 < 0 || j1 < j0 || j1 > m.Cols {
+		panic(fmt.Sprintf("mat: bad view [%d:%d, %d:%d] of %dx%d", i0, i1, j0, j1, m.Rows, m.Cols))
+	}
+	return Dense{
+		Rows:   i1 - i0,
+		Cols:   j1 - j0,
+		Stride: m.Stride,
+		Data:   m.Data[i0+j0*m.Stride:],
+	}
+}
+
 // Clone returns a compact (Stride == Rows) deep copy of m.
 func (m *Dense) Clone() *Dense {
 	out := New(m.Rows, m.Cols)
