@@ -12,7 +12,11 @@ import (
 
 // pipeline bundles the shared experiment steps: Experiment 2 needs
 // Experiment 1's anomalies, and Experiment 3 needs Experiment 2's line
-// samples, exactly as in the paper.
+// samples, exactly as in the paper. The expression and timer come from
+// the selection engine, so every experiment runner binds algorithm sets
+// through the engine's caches and (on the measured backend) executes
+// through its compiled-plan cache — the same pipeline `select` and
+// `serve` answer queries from.
 type pipeline struct {
 	c     *commonFlags
 	e     lamb.Expression
@@ -20,15 +24,15 @@ type pipeline struct {
 }
 
 func newPipeline(c *commonFlags) (*pipeline, error) {
-	e, err := c.expression()
+	eng, err := c.engine(0, 0)
 	if err != nil {
 		return nil, err
 	}
-	timer, err := c.timer()
+	e, err := eng.Expression(c.exprName)
 	if err != nil {
 		return nil, err
 	}
-	return &pipeline{c: c, e: e, timer: timer}, nil
+	return &pipeline{c: c, e: e, timer: eng.Timer()}, nil
 }
 
 // exp1 runs the random search at the paper's 10% threshold.

@@ -13,7 +13,10 @@
 //	exp1       random search for anomalies (Figures 6 and 9)
 //	exp2       regions around anomalies (Figures 7, 8, 10, 11)
 //	exp3       prediction from benchmarks (Tables 1 and 2)
-//	select     algorithm-selection strategies (paper §5 conjecture)
+//	select     algorithm-selection strategies (paper §5 conjecture);
+//	           -instance queries the engine for one instance, -json
+//	           emits the machine-readable selection record
+//	serve      HTTP JSON selection endpoint over the cached query engine
 //	bench      kernel benchmark grid (BENCH_<n>.json with -json; whole-
 //	           algorithm timings with -algs; diff two reports with
 //	           -compare OLD.json NEW.json)
@@ -43,6 +46,7 @@ import (
 	"strings"
 
 	"lamb"
+	"lamb/internal/engine"
 	"lamb/internal/report"
 )
 
@@ -66,6 +70,8 @@ func main() {
 		err = cmdExp3(args)
 	case "select":
 		err = cmdSelect(args)
+	case "serve":
+		err = cmdServe(args)
 	case "bench":
 		err = cmdBench(args)
 	case "all":
@@ -92,7 +98,9 @@ subcommands:
   exp1       random search for anomalies (Figures 6, 9)
   exp2       regions around anomalies (Figures 7, 8, 10, 11)
   exp3       prediction from benchmarks (Tables 1, 2)
-  select     algorithm-selection strategies
+  select     algorithm-selection strategies; -instance picks one
+             algorithm through the engine (-json for the record)
+  serve      HTTP JSON selection endpoint over the query engine
   bench      kernel benchmark grid (writes BENCH_<n>.json with -json;
              -algs times whole algorithms; -compare OLD NEW diffs reports)
   all        full paper pipeline
@@ -128,19 +136,42 @@ func (c *commonFlags) expression() (lamb.Expression, error) {
 	return lamb.LookupExpression(c.exprName)
 }
 
-func (c *commonFlags) timer() (*lamb.Timer, error) {
-	var e lamb.Executor
+func (c *commonFlags) executor() (lamb.Executor, error) {
 	switch c.backend {
 	case "sim":
-		e = lamb.NewSimExecutor()
+		return lamb.NewSimExecutor(), nil
 	case "blas":
-		e = lamb.NewMeasuredExecutor()
+		return lamb.NewMeasuredExecutor(), nil
 	default:
 		return nil, fmt.Errorf("unknown backend %q (want sim or blas)", c.backend)
+	}
+}
+
+func (c *commonFlags) timer() (*lamb.Timer, error) {
+	e, err := c.executor()
+	if err != nil {
+		return nil, err
 	}
 	t := lamb.NewTimer(e)
 	t.Reps = c.reps
 	return t, nil
+}
+
+// engine builds the selection engine for the chosen backend. The
+// experiment pipeline, `select`, and `serve` all route through one
+// engine, so enumeration, binding, and plan compilation are cached in
+// one place. Non-positive capacities fall back to the engine defaults.
+func (c *commonFlags) engine(bindEntries, planEntries int) (*engine.Engine, error) {
+	e, err := c.executor()
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(engine.Config{
+		Executor:    e,
+		Reps:        c.reps,
+		BindEntries: bindEntries,
+		PlanEntries: planEntries,
+	}), nil
 }
 
 // box returns the search space: the paper's box on the sim backend, a

@@ -1,31 +1,104 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"lamb"
+	"lamb/internal/engine"
 	"lamb/internal/report"
 )
 
-// cmdSelect compares algorithm-selection strategies: the paper's MinFlops
-// baseline, the proposed FLOPs+profiles discriminant, and the measuring
-// oracle. This operationalises the paper's concluding conjecture.
+// cmdSelect answers selection queries through the engine. Two modes:
+//
+//   - with -instance, a single query: "which algorithm for these
+//     sizes?" The answer is the engine's selection record — rendered as
+//     a table, or with -json as the same machine-readable record the
+//     `lamb serve` endpoint emits.
+//   - without -instance, the strategy-evaluation study: the paper's
+//     MinFlops baseline, the proposed FLOPs+profiles discriminant, and
+//     the measuring oracle compared by regret over random instances
+//     (the paper's concluding conjecture, operationalised).
 func cmdSelect(args []string) error {
 	fs := flag.NewFlagSet("select", flag.ExitOnError)
 	c := registerCommon(fs)
-	instances := fs.Int("instances", 150, "number of random instances")
+	instances := fs.Int("instances", 150, "number of random instances (evaluation mode)")
 	gridPoints := fs.Int("grid", 8, "profile grid points per dimension")
+	instFlag := fs.String("instance", "", "query one instance, e.g. 100,200,300 (query mode)")
+	strategy := fs.String("strategy", engine.DefaultStrategy, "query-mode strategy: min-flops, min-predicted, or oracle")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable selection record (query mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *instFlag != "" {
+		return selectQuery(c, *instFlag, *strategy, *gridPoints, *jsonOut)
+	}
+	if *jsonOut {
+		return fmt.Errorf("-json requires -instance (the record describes one query)")
+	}
+	return selectEvaluate(c, *instances, *gridPoints)
+}
+
+// selectQuery answers one instance query through the engine. The
+// executor is built once: profile measurement (min-predicted) runs on
+// the same backend the engine then serves from.
+func selectQuery(c *commonFlags, instFlag, strategy string, gridPoints int, jsonOut bool) error {
+	ex, err := c.executor()
+	if err != nil {
+		return err
+	}
+	var profiles *lamb.ProfileSet
+	if strategy == "min-predicted" {
+		fmt.Fprintf(os.Stderr, "measuring kernel profiles (%d^3 grid per kernel)...\n", gridPoints)
+		t := lamb.NewTimer(ex)
+		t.Reps = c.reps
+		profiles = lamb.MeasureProfiles(t, gridPoints)
+	}
+	eng := engine.New(engine.Config{Executor: ex, Reps: c.reps, Profiles: profiles})
+	x, err := eng.Expression(c.exprName)
+	if err != nil {
+		return err
+	}
+	inst, err := parseInstance(instFlag, x.Arity())
+	if err != nil {
+		return err
+	}
+	rec, err := eng.Query(engine.Query{Expr: c.exprName, Instance: inst, Strategy: strategy})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rec)
+	}
+	fmt.Printf("%s %v (strategy %s, backend %s): algorithm %d of %d\n\n",
+		rec.Expr, rec.Instance, rec.Strategy, rec.Backend, rec.Selected.Index, rec.NumAlgorithms)
+	rows := [][]string{{"#", "algorithm", "FLOPs", "selected"}}
+	for _, cand := range rec.Candidates {
+		mark := ""
+		if cand.Index == rec.Selected.Index {
+			mark = "<=="
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(cand.Index), cand.Name, fmt.Sprintf("%.0f", cand.Flops), mark,
+		})
+	}
+	return report.Table(os.Stdout, rows)
+}
+
+// selectEvaluate runs the strategy-regret study through the engine's
+// expression and timer (so repeated instances bind once and, on the
+// measured backend, plans are cached across strategies).
+func selectEvaluate(c *commonFlags, instances, gridPoints int) error {
 	p, err := newPipeline(c)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "measuring kernel profiles (%d^3 grid per kernel)...\n", *gridPoints)
-	profiles := lamb.MeasureProfiles(p.timer, *gridPoints)
+	fmt.Fprintf(os.Stderr, "measuring kernel profiles (%d^3 grid per kernel)...\n", gridPoints)
+	profiles := lamb.MeasureProfiles(p.timer, gridPoints)
 	strategies := []lamb.Strategy{
 		lamb.MinFlops{},
 		lamb.MinPredicted{Profiles: profiles},
@@ -33,10 +106,10 @@ func cmdSelect(args []string) error {
 	}
 	reports := lamb.EvaluateStrategies(p.e, p.timer, strategies, lamb.SelectionConfig{
 		Box:       c.box(p.e.Arity()),
-		Instances: *instances,
+		Instances: instances,
 		Seed:      c.seed,
 	})
-	fmt.Printf("Algorithm selection on %s (%d instances, backend %s)\n\n", p.e.Name(), *instances, c.backend)
+	fmt.Printf("Algorithm selection on %s (%d instances, backend %s)\n\n", p.e.Name(), instances, c.backend)
 	rows := [][]string{{"strategy", "optimal picks", "mean regret", "max regret", "worst instance"}}
 	for _, r := range reports {
 		rows = append(rows, []string{

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lamb/internal/engine"
+)
+
+// cmdServe runs the selection engine behind an HTTP JSON endpoint: the
+// ROADMAP's serving path. Every response is produced by the same
+// engine.Query pipeline the CLI uses, so `lamb select -json` and a curl
+// against /api/query emit identical records.
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness probe
+//	GET  /api/expressions  queryable expressions (name, arity, set size)
+//	GET  /api/stats        per-layer cache counters
+//	POST /api/query        one engine.Query -> one selection record
+//	POST /api/batch        {"queries": [...]} -> {"results": [...]}
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	c := registerCommon(fs)
+	addr := fs.String("addr", "127.0.0.1:8374", "listen address")
+	bindEntries := fs.Int("bind-cache", engine.DefaultBindEntries, "binding-layer LRU entries")
+	planEntries := fs.Int("plan-cache", engine.DefaultPlanEntries, "compiled-plan LRU entries (blas backend)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := c.engine(*bindEntries, *planEntries)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serveMux(eng),
+		ReadHeaderTimeout: 5 * time.Second,
+		// Bounds the whole request read (headers + body), so a client
+		// cannot pin a goroutine by trickling a body forever. Responses
+		// are not bounded: a blas-backend oracle query legitimately
+		// measures for a while.
+		ReadTimeout: 30 * time.Second,
+		IdleTimeout: 2 * time.Minute,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "lamb serve: listening on %s (backend %s)\n", *addr, c.backend)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "lamb serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}
+
+// batchRequest is the /api/batch request body.
+type batchRequest struct {
+	Queries []engine.Query `json:"queries"`
+}
+
+// batchItem is one /api/batch result: a record or an error.
+type batchItem struct {
+	*engine.Record
+	Error string `json:"error,omitempty"`
+}
+
+// batchResponse is the /api/batch response body.
+type batchResponse struct {
+	Results []batchItem `json:"results"`
+}
+
+// serveMux builds the HTTP handler over an engine. Split from cmdServe
+// so tests drive it through httptest without binding a port.
+func serveMux(eng *engine.Engine) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /api/expressions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, eng.ListExpressions())
+	})
+	mux.HandleFunc("GET /api/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, eng.Stats())
+	})
+	mux.HandleFunc("POST /api/query", func(w http.ResponseWriter, r *http.Request) {
+		var q engine.Query
+		if err := decodeJSON(w, r, &q); err != nil {
+			return
+		}
+		rec, err := eng.Query(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+	mux.HandleFunc("POST /api/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			return
+		}
+		results := eng.QueryBatch(req.Queries)
+		resp := batchResponse{Results: make([]batchItem, len(results))}
+		for i, res := range results {
+			if res.Err != nil {
+				resp.Results[i] = batchItem{Error: res.Err.Error()}
+			} else {
+				resp.Results[i] = batchItem{Record: res.Record}
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+// maxBodyBytes caps request bodies: queries are a few hundred bytes,
+// batches a few thousand per entry — 4 MiB is orders of magnitude of
+// headroom while keeping a hostile body from buffering unbounded.
+const maxBodyBytes = 4 << 20
+
+// decodeJSON parses the size-capped request body into v, replying 400
+// (or 413 for an oversized body) on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return err
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return err
+	}
+	return nil
+}
+
+// writeJSON replies with a JSON body and status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError replies with {"error": ...}.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+
+	"lamb/internal/engine"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(serveMux(engine.New(engine.Config{})))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+func TestServeHealthAndExpressions(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/api/expressions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []engine.ExpressionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 6 {
+		t.Fatalf("expressions %v", infos)
+	}
+}
+
+func TestServeQueryRecord(t *testing.T) {
+	srv := newTestServer(t)
+	resp, body := postJSON(t, srv.URL+"/api/query", engine.Query{
+		Expr: "aatb", Instance: []int{80, 514, 768},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rec engine.Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Expr != "aatb" || rec.Strategy != "min-flops" || rec.Selected.Index != 1 {
+		t.Fatalf("record %+v", rec)
+	}
+	if rec.Selected.Flops != 13_161_120 || rec.NumAlgorithms != 5 {
+		t.Fatalf("record %+v", rec)
+	}
+	// The wire format is the engine record verbatim: round-tripping
+	// through the endpoint changes nothing.
+	direct, err := engine.New(engine.Config{}).Query(engine.Query{Expr: "aatb", Instance: []int{80, 514, 768}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&rec, direct) {
+		t.Fatalf("served record differs from direct engine record:\n%+v\n%+v", rec, direct)
+	}
+}
+
+func TestServeQueryErrors(t *testing.T) {
+	srv := newTestServer(t)
+	for name, body := range map[string]any{
+		"unknown expression": engine.Query{Expr: "nope", Instance: []int{1, 2, 3}},
+		"bad arity":          engine.Query{Expr: "aatb", Instance: []int{1}},
+		"bad strategy":       engine.Query{Expr: "aatb", Instance: []int{2, 3, 4}, Strategy: "magic"},
+		"unknown field":      map[string]any{"exprs": "aatb"},
+	} {
+		resp, out := postJSON(t, srv.URL+"/api/query", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s)", name, resp.StatusCode, out)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(out, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body %s", name, out)
+		}
+	}
+}
+
+func TestServeBatchConcurrent(t *testing.T) {
+	// The serve acceptance check: concurrent batches with overlapping
+	// identical queries answer correctly under -race.
+	srv := newTestServer(t)
+	req := batchRequest{}
+	for i := 0; i < 10; i++ {
+		req.Queries = append(req.Queries, engine.Query{
+			Expr: "gls", Instance: []int{10 + i%3, 20, 30, 40},
+		})
+	}
+	req.Queries = append(req.Queries, engine.Query{Expr: "broken", Instance: []int{1}})
+
+	const clients = 6
+	var wg sync.WaitGroup
+	results := make([]batchResponse, clients)
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf, _ := json.Marshal(req)
+			resp, err := http.Post(srv.URL+"/api/batch", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("batch status %d", resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&results[w]); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < clients; w++ {
+		res := results[w].Results
+		if len(res) != len(req.Queries) {
+			t.Fatalf("client %d: %d results", w, len(res))
+		}
+		for i := 0; i < 10; i++ {
+			if res[i].Error != "" || res[i].Record == nil {
+				t.Fatalf("client %d query %d: %+v", w, i, res[i])
+			}
+			if res[i].Record.Expr != "gls" || res[i].Record.NumAlgorithms != 8 {
+				t.Fatalf("client %d query %d record %+v", w, i, res[i].Record)
+			}
+		}
+		if res[10].Error == "" {
+			t.Fatalf("client %d: broken query succeeded", w)
+		}
+		if !reflect.DeepEqual(results[0].Results, res) {
+			t.Fatalf("client %d diverges from client 0", w)
+		}
+	}
+}
+
+func TestServeStatsReflectCaches(t *testing.T) {
+	srv := newTestServer(t)
+	q := engine.Query{Expr: "chain", Instance: []int{3, 5, 7, 11, 13}}
+	for i := 0; i < 3; i++ {
+		if resp, body := postJSON(t, srv.URL+"/api/query", q); resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: %s", i, body)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s engine.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if s.Queries != 3 {
+		t.Fatalf("queries %d", s.Queries)
+	}
+	if s.Bindings.Hits < 2 || s.Bindings.Misses != 1 {
+		t.Fatalf("bindings %+v", s.Bindings)
+	}
+	if s.Backend == "" {
+		t.Fatal("backend missing")
+	}
+}
+
+func TestServeMethodNotAllowed(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/api/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /api/query status %d", resp.StatusCode)
+	}
+}
+
+func TestCmdSelectInstanceJSON(t *testing.T) {
+	// The CLI path: lamb select -instance ... -json emits the engine
+	// record on stdout.
+	old := stdoutCapture(t)
+	err := cmdSelect([]string{"-expr", "aatb", "-instance", "80,514,768", "-json"})
+	body := old()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec engine.Record
+	if jerr := json.Unmarshal(body, &rec); jerr != nil {
+		t.Fatalf("%v in %q", jerr, body)
+	}
+	if rec.Expr != "aatb" || rec.Selected.Index != 1 || rec.Selected.Flops != 13_161_120 {
+		t.Fatalf("record %+v", rec)
+	}
+	if rec.Strategy != "min-flops" || len(rec.Candidates) != 5 {
+		t.Fatalf("record %+v", rec)
+	}
+}
+
+func TestCmdSelectInstanceTable(t *testing.T) {
+	old := stdoutCapture(t)
+	err := cmdSelect([]string{"-expr", "chain", "-instance", "331,279,338,854,427"})
+	body := old()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("algorithm 2 of 6")) && !bytes.Contains(body, []byte("<==")) {
+		t.Fatalf("table output %q", body)
+	}
+}
+
+func TestCmdSelectJSONRequiresInstance(t *testing.T) {
+	if err := cmdSelect([]string{"-expr", "aatb", "-json"}); err == nil {
+		t.Fatal("-json without -instance accepted")
+	}
+}
+
+// stdoutCapture redirects os.Stdout and returns a closure that restores
+// it and yields everything written.
+func stdoutCapture(t *testing.T) func() []byte {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	done := make(chan []byte, 1)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.Bytes()
+	}()
+	return func() []byte {
+		w.Close()
+		os.Stdout = orig
+		return <-done
+	}
+}

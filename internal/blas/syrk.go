@@ -28,7 +28,25 @@ var syrkScratchPool = sync.Pool{New: func() any { return mat.New(syrkBlock, syrk
 // ramps up more slowly than GEMM at small m — one of the
 // kernel-efficiency gaps the paper identifies.
 func Syrk(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
+	syrkDriver(uplo, false, alpha, a, beta, c)
+}
+
+// SyrkT computes the uplo triangle of C := alpha·Aᵀ·A + beta·C, with A
+// k×m and C m×m — the transposed-Gram variant (BLAS dsyrk with
+// trans='T'). It shares the blocked driver with Syrk: the only
+// difference is that block operands are column slices of A multiplied
+// with a transposed left-hand side.
+func SyrkT(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
+	syrkDriver(uplo, true, alpha, a, beta, c)
+}
+
+// syrkDriver is the shared blocked implementation: trans selects
+// C := Aᵀ·A (A k×m) instead of C := A·Aᵀ (A m×k).
+func syrkDriver(uplo mat.Uplo, trans bool, alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
 	m, k := a.Rows, a.Cols
+	if trans {
+		m, k = a.Cols, a.Rows
+	}
 	if c.Rows != m || c.Cols != m {
 		panic(fmt.Sprintf("blas: syrk output %dx%d, want %dx%d", c.Rows, c.Cols, m, m))
 	}
@@ -48,14 +66,14 @@ func Syrk(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense
 		scratch := syrkScratchPool.Get().(*mat.Dense)
 		for j0 := 0; j0 < m; j0 += syrkBlock {
 			j1 := min(j0+syrkBlock, m)
-			syrkBlockTask(uplo, alpha, a, beta, c, triBlock{j0, j1, j0, j1}, scratch, false)
+			syrkBlockTask(uplo, trans, alpha, a, beta, c, triBlock{j0, j1, j0, j1}, scratch, false)
 			if uplo == mat.Lower {
 				for i0 := j1; i0 < m; i0 += syrkBlock {
-					syrkBlockTask(uplo, alpha, a, beta, c, triBlock{i0, min(i0+syrkBlock, m), j0, j1}, scratch, false)
+					syrkBlockTask(uplo, trans, alpha, a, beta, c, triBlock{i0, min(i0+syrkBlock, m), j0, j1}, scratch, false)
 				}
 			} else {
 				for i0 := 0; i0 < j0; i0 += syrkBlock {
-					syrkBlockTask(uplo, alpha, a, beta, c, triBlock{i0, min(i0+syrkBlock, j0), j0, j1}, scratch, false)
+					syrkBlockTask(uplo, trans, alpha, a, beta, c, triBlock{i0, min(i0+syrkBlock, j0), j0, j1}, scratch, false)
 				}
 			}
 		}
@@ -69,36 +87,50 @@ func Syrk(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense
 	ap, cp := &av, &cv
 	parallelTasks(nw, len(tasks), func(t int) {
 		scratch := syrkScratchPool.Get().(*mat.Dense)
-		syrkBlockTask(uplo, alpha, ap, beta, cp, tasks[t], scratch, true)
+		syrkBlockTask(uplo, trans, alpha, ap, beta, cp, tasks[t], scratch, true)
 		syrkScratchPool.Put(scratch)
 	})
 }
 
 // syrkBlockTask computes one triangular block of the SYRK update:
 // off-diagonal blocks are plain GEMMs on row views of A (transposed
-// right-hand side), diagonal blocks go through the scratch square with a
-// triangle merge. With serialGemm set the block runs the serial GEMM
-// driver (parallel callers avoid nested parallelism); otherwise Gemm may
-// parallelise internally (e.g. a single big diagonal block).
-func syrkBlockTask(uplo mat.Uplo, alpha float64, a *mat.Dense, beta float64, c *mat.Dense, blk triBlock, scratch *mat.Dense, serialGemm bool) {
+// right-hand side) — column views with a transposed left-hand side in
+// the trans case — while diagonal blocks go through the scratch square
+// with a triangle merge. With serialGemm set the block runs the serial
+// GEMM driver (parallel callers avoid nested parallelism); otherwise
+// Gemm may parallelise internally (e.g. a single big diagonal block).
+func syrkBlockTask(uplo mat.Uplo, trans bool, alpha float64, a *mat.Dense, beta float64, c *mat.Dense, blk triBlock, scratch *mat.Dense, serialGemm bool) {
 	k := a.Cols
-	aj := a.View(blk.j0, blk.j1, 0, k)
+	if trans {
+		k = a.Rows
+	}
+	var aj mat.Dense
+	if trans {
+		aj = a.View(0, k, blk.j0, blk.j1)
+	} else {
+		aj = a.View(blk.j0, blk.j1, 0, k)
+	}
 	if blk.diag() {
 		sb := scratch.View(0, blk.j1-blk.j0, 0, blk.j1-blk.j0)
 		if serialGemm {
-			gemmSerial(false, true, alpha, &aj, &aj, 0, &sb)
+			gemmSerial(trans, !trans, alpha, &aj, &aj, 0, &sb)
 		} else {
-			Gemm(false, true, alpha, &aj, &aj, 0, &sb)
+			Gemm(trans, !trans, alpha, &aj, &aj, 0, &sb)
 		}
 		mergeTriangle(c, &sb, blk.j0, uplo, beta)
 		return
 	}
-	ai := a.View(blk.i0, blk.i1, 0, k)
+	var ai mat.Dense
+	if trans {
+		ai = a.View(0, k, blk.i0, blk.i1)
+	} else {
+		ai = a.View(blk.i0, blk.i1, 0, k)
+	}
 	cb := c.View(blk.i0, blk.i1, blk.j0, blk.j1)
 	if serialGemm {
-		gemmSerial(false, true, alpha, &ai, &aj, beta, &cb)
+		gemmSerial(trans, !trans, alpha, &ai, &aj, beta, &cb)
 	} else {
-		Gemm(false, true, alpha, &ai, &aj, beta, &cb)
+		Gemm(trans, !trans, alpha, &ai, &aj, beta, &cb)
 	}
 }
 

@@ -1,0 +1,104 @@
+package blas
+
+import (
+	"testing"
+
+	"lamb/internal/mat"
+	"lamb/internal/xrand"
+)
+
+// transposed returns an explicit copy of aᵀ.
+func transposed(a *mat.Dense) *mat.Dense {
+	out := mat.New(a.Cols, a.Rows)
+	for j := 0; j < a.Cols; j++ {
+		for i := 0; i < a.Rows; i++ {
+			out.Set(j, i, a.At(i, j))
+		}
+	}
+	return out
+}
+
+func TestSyrkTMatchesNaiveOnTranspose(t *testing.T) {
+	// SyrkT(A) computes AᵀA, which is Syrk of the explicit transpose —
+	// pinned against the naive reference on both triangles, with
+	// alpha/beta scaling, across serial and blocked shapes.
+	rng := xrand.New(31)
+	shapes := [][2]int{{1, 1}, {5, 3}, {8, 8}, {5, 17}, {30, 96}, {10, 97}, {40, 150}, {3, 200}}
+	for _, sh := range shapes {
+		k, m := sh[0], sh[1] // A is k×m, C is m×m
+		for _, uplo := range []mat.Uplo{mat.Lower, mat.Upper} {
+			a := mat.NewRandom(k, m, rng)
+			c0 := mat.NewRandom(m, m, rng)
+			got := c0.Clone()
+			want := c0.Clone()
+			SyrkT(uplo, 1.1, a, 0.4, got)
+			NaiveSyrk(uplo, 1.1, transposed(a), 0.4, want)
+			if d := mat.MaxAbsDiff(got, want); d > tol(k) {
+				t.Fatalf("syrkT(%v) m=%d k=%d: diff %g", uplo, m, k, d)
+			}
+		}
+	}
+}
+
+func TestSyrkTDoesNotTouchOppositeTriangle(t *testing.T) {
+	rng := xrand.New(32)
+	a := mat.NewRandom(20, 50, rng)
+	c := mat.New(50, 50)
+	c.Fill(123)
+	SyrkT(mat.Lower, 1, a, 0, c)
+	for j := 0; j < 50; j++ {
+		for i := 0; i < j; i++ {
+			if c.At(i, j) != 123 {
+				t.Fatalf("upper element (%d,%d) modified by Lower syrkT", i, j)
+			}
+		}
+	}
+	c.Fill(123)
+	SyrkT(mat.Upper, 1, a, 0, c)
+	for j := 0; j < 50; j++ {
+		for i := j + 1; i < 50; i++ {
+			if c.At(i, j) != 123 {
+				t.Fatalf("lower element (%d,%d) modified by Upper syrkT", i, j)
+			}
+		}
+	}
+}
+
+func TestSyrkTAgreesWithSyrkOfTranspose(t *testing.T) {
+	// The two drivers share block machinery; this cross-check runs a
+	// ragged shape large enough to exercise multi-block panels.
+	rng := xrand.New(33)
+	a := mat.NewRandom(37, 210, rng)
+	got := mat.New(210, 210)
+	want := mat.New(210, 210)
+	SyrkT(mat.Lower, 1, a, 0, got)
+	Syrk(mat.Lower, 1, transposed(a), 0, want)
+	if d := mat.MaxAbsDiff(got, want); d > tol(37) {
+		t.Fatalf("syrkT vs syrk(aᵀ): diff %g", d)
+	}
+}
+
+func TestSyrkTMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched output")
+		}
+	}()
+	SyrkT(mat.Lower, 1, mat.New(4, 6), 0, mat.New(4, 4))
+}
+
+func TestSyrkTRandomShapesProperty(t *testing.T) {
+	rng := xrand.New(34)
+	for trial := 0; trial < 40; trial++ {
+		k := rng.IntRange(1, 140)
+		m := rng.IntRange(1, 140)
+		a := mat.NewRandom(k, m, rng)
+		got := mat.New(m, m)
+		want := mat.New(m, m)
+		SyrkT(mat.Lower, 1, a, 0, got)
+		NaiveSyrk(mat.Lower, 1, transposed(a), 0, want)
+		if d := mat.MaxAbsDiff(got, want); d > tol(k) {
+			t.Fatalf("trial %d m=%d k=%d: diff %g", trial, m, k, d)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package cache provides the small bounded LRU used by the selection
+// engine's cache hierarchy (bound algorithm sets, compiled execution
+// plans). It is deliberately minimal: a map plus an intrusive
+// doubly-linked recency list, with hit/miss/eviction counters so the
+// engine can prove cache effectiveness (the paper's workload is exactly
+// the repeated-query pattern an LRU rewards).
+package cache
+
+// Stats are a cache's monotonic counters plus its current occupancy.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Size      int    `json:"size"`
+	Capacity  int    `json:"capacity"`
+}
+
+// node is one entry of the recency list. Nodes are index-linked into a
+// slice so a Get performs no pointer chasing beyond the map lookup and
+// no allocation.
+type node[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next int
+}
+
+// LRU is a bounded least-recently-used map. The zero value is not
+// usable; construct with NewLRU. It is not safe for concurrent use —
+// callers wrap it in their own locking (the engine shards its locks by
+// layer).
+type LRU[K comparable, V any] struct {
+	cap   int
+	index map[K]int
+	nodes []node[K, V]
+	head  int // most recently used; -1 when empty
+	tail  int // least recently used; -1 when empty
+	stats Stats
+}
+
+// NewLRU returns an LRU holding at most capacity entries. It panics on
+// non-positive capacities.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity <= 0 {
+		panic("cache: LRU capacity must be positive")
+	}
+	return &LRU[K, V]{
+		cap:   capacity,
+		index: make(map[K]int, capacity),
+		head:  -1,
+		tail:  -1,
+	}
+}
+
+// unlink removes node i from the recency list.
+func (l *LRU[K, V]) unlink(i int) {
+	n := &l.nodes[i]
+	if n.prev >= 0 {
+		l.nodes[n.prev].next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next >= 0 {
+		l.nodes[n.next].prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+}
+
+// pushFront makes node i the most recently used.
+func (l *LRU[K, V]) pushFront(i int) {
+	n := &l.nodes[i]
+	n.prev, n.next = -1, l.head
+	if l.head >= 0 {
+		l.nodes[l.head].prev = i
+	}
+	l.head = i
+	if l.tail < 0 {
+		l.tail = i
+	}
+}
+
+// Get returns the value cached under k, promoting it to most recently
+// used. It allocates nothing on either hit or miss.
+func (l *LRU[K, V]) Get(k K) (V, bool) {
+	if i, ok := l.index[k]; ok {
+		l.stats.Hits++
+		if l.head != i {
+			l.unlink(i)
+			l.pushFront(i)
+		}
+		return l.nodes[i].val, true
+	}
+	l.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// Peek returns the value cached under k without promoting it and
+// without touching the hit/miss counters. Used for double-checked
+// inserts whose first Get already accounted the lookup.
+func (l *LRU[K, V]) Peek(k K) (V, bool) {
+	if i, ok := l.index[k]; ok {
+		return l.nodes[i].val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value under k as most recently used,
+// evicting the least recently used entry if the cache is full.
+func (l *LRU[K, V]) Put(k K, v V) {
+	if i, ok := l.index[k]; ok {
+		l.nodes[i].val = v
+		if l.head != i {
+			l.unlink(i)
+			l.pushFront(i)
+		}
+		return
+	}
+	var slot int
+	if len(l.nodes) < l.cap {
+		l.nodes = append(l.nodes, node[K, V]{})
+		slot = len(l.nodes) - 1
+	} else {
+		// Evict the least recently used entry and reuse its slot.
+		slot = l.tail
+		l.unlink(slot)
+		delete(l.index, l.nodes[slot].key)
+		l.stats.Evictions++
+	}
+	l.nodes[slot] = node[K, V]{key: k, val: v}
+	l.index[k] = slot
+	l.pushFront(slot)
+}
+
+// Len returns the number of cached entries.
+func (l *LRU[K, V]) Len() int { return len(l.index) }
+
+// Stats returns the counters and occupancy.
+func (l *LRU[K, V]) Stats() Stats {
+	s := l.stats
+	s.Size = len(l.index)
+	s.Capacity = l.cap
+	return s
+}

@@ -1,0 +1,101 @@
+package cache
+
+import "testing"
+
+func TestLRUBasicGetPut(t *testing.T) {
+	l := NewLRU[string, int](2)
+	if _, ok := l.Get("a"); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	l.Put("a", 1)
+	l.Put("b", 2)
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	l.Put("c", 3)
+	if _, ok := l.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("a lost: %d, %v", v, ok)
+	}
+	if v, ok := l.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %d, %v", v, ok)
+	}
+	s := l.Stats()
+	if s.Evictions != 1 || s.Size != 2 || s.Capacity != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUPutReplacesAndPromotes(t *testing.T) {
+	l := NewLRU[int, string](2)
+	l.Put(1, "one")
+	l.Put(2, "two")
+	l.Put(1, "uno") // replace, promote 1
+	l.Put(3, "three")
+	if _, ok := l.Get(2); ok {
+		t.Fatal("2 should have been evicted (1 was promoted by Put)")
+	}
+	if v, ok := l.Get(1); !ok || v != "uno" {
+		t.Fatalf("1 = %q, %v", v, ok)
+	}
+}
+
+func TestLRUCounters(t *testing.T) {
+	l := NewLRU[int, int](4)
+	for i := 0; i < 4; i++ {
+		l.Put(i, i)
+	}
+	for i := 0; i < 4; i++ {
+		l.Get(i)
+	}
+	l.Get(99)
+	s := l.Stats()
+	if s.Hits != 4 || s.Misses != 1 || s.Evictions != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestLRUSlotReuseAfterEviction(t *testing.T) {
+	l := NewLRU[int, int](3)
+	for i := 0; i < 100; i++ {
+		l.Put(i, i*i)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len %d", l.Len())
+	}
+	for i := 97; i < 100; i++ {
+		if v, ok := l.Get(i); !ok || v != i*i {
+			t.Fatalf("entry %d = %d, %v", i, v, ok)
+		}
+	}
+	if got := len(l.nodes); got > 3 {
+		t.Fatalf("node slab grew to %d despite capacity 3", got)
+	}
+}
+
+func TestLRUGetAllocationFree(t *testing.T) {
+	l := NewLRU[int, int](8)
+	for i := 0; i < 8; i++ {
+		l.Put(i, i)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		l.Get(3)
+		l.Get(5)
+		l.Get(11) // miss
+	})
+	if allocs != 0 {
+		t.Fatalf("Get allocated %v per run, want 0", allocs)
+	}
+}
+
+func TestLRUPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for capacity 0")
+		}
+	}()
+	NewLRU[int, int](0)
+}

@@ -1,0 +1,561 @@
+// Package engine is the concurrency-safe query engine for algorithm
+// selection: the single entry point that answers "for this expression
+// and these operand sizes, which algorithm should I run?".
+//
+// It splits the selection pipeline into cacheable layers:
+//
+//   - symbolic layer: each expression's algorithm set is enumerated
+//     once, symbolically (lamb/internal/ir's SymbolicSet); the engine
+//     memoises the constructed expressions so repeated queries never
+//     re-enumerate.
+//   - binding layer: bound algorithm sets are memoised per
+//     (expression, instance) in a bounded LRU, so repeated instances
+//     skip even the cheap bind step — and, crucially, yield
+//     pointer-stable algorithms for the layer below.
+//   - execution layer: compiled execution plans live in a bounded LRU
+//     (lamb/internal/exec.PlanCache) shared with the measured executor,
+//     keyed by the bound algorithm, so timing-based strategies never
+//     recompile a plan for a cached (algorithm, instance) pair.
+//   - serving layer: Query and QueryBatch apply a selection strategy
+//     (lamb/internal/selection) and deduplicate concurrent identical
+//     queries with a singleflight, producing the machine-readable
+//     Record that both `lamb select -json` and `lamb serve` emit.
+//
+// The CLI experiment pipeline, strategy evaluation, and the HTTP server
+// all route through one Engine, so there is one pipeline rather than
+// three. Cache effectiveness is observable through Stats.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"lamb/internal/cache"
+	"lamb/internal/exec"
+	"lamb/internal/expr"
+	"lamb/internal/ir"
+	"lamb/internal/profile"
+	"lamb/internal/selection"
+)
+
+// Cache-capacity defaults. Bound sets are small (≤ tens of algorithms
+// of a few hundred bytes), so the binding layer can be generous; plans
+// own operand arenas, so the execution layer stays conservative.
+const (
+	DefaultBindEntries     = 512
+	DefaultPlanEntries     = 32
+	DefaultCallPlanEntries = 32
+)
+
+// DefaultStrategy is the strategy used when a query names none: the
+// paper's baseline discriminant.
+const DefaultStrategy = "min-flops"
+
+// Config parameterises an Engine. The zero value is usable: simulated
+// backend, the paper's 10 repetitions, default cache capacities.
+type Config struct {
+	// Executor runs timing-based strategies (oracle). Defaults to the
+	// simulated backend on the calibrated machine. A *exec.Measured
+	// executor has its plan cache replaced by the engine-owned one.
+	Executor exec.Executor
+	// Reps is the timer's repetition count (default 10, the paper's).
+	Reps int
+	// BindEntries bounds the binding-layer LRU (default 512).
+	BindEntries int
+	// PlanEntries bounds the compiled whole-algorithm plan LRU
+	// (default 32).
+	PlanEntries int
+	// CallPlanEntries bounds the compiled single-call plan LRU
+	// (default 32).
+	CallPlanEntries int
+	// Profiles, if set, enables the "min-predicted" strategy (FLOPs
+	// combined with kernel performance profiles — the paper's proposed
+	// discriminant).
+	Profiles *profile.Set
+}
+
+// Query is one selection request.
+type Query struct {
+	// Expr names a registered expression (case-insensitive).
+	Expr string `json:"expr"`
+	// Instance assigns the expression's dimensions.
+	Instance expr.Instance `json:"instance"`
+	// Strategy selects the discriminant: "min-flops" (default),
+	// "min-predicted" (needs profiles), or "oracle" (measures every
+	// algorithm).
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// Candidate is one algorithm of the queried set, as it appears in the
+// selection record.
+type Candidate struct {
+	// Index is the paper's 1-based algorithm number.
+	Index int `json:"index"`
+	// Name is the call-sequence rendering.
+	Name string `json:"name"`
+	// Flops is the algorithm's FLOP count at the queried instance.
+	Flops float64 `json:"flops"`
+}
+
+// Record is the machine-readable selection answer. `lamb select -json`
+// and the `lamb serve` endpoint emit exactly this structure.
+type Record struct {
+	Expr     string        `json:"expr"`
+	Instance expr.Instance `json:"instance"`
+	Strategy string        `json:"strategy"`
+	Backend  string        `json:"backend"`
+	// Selected is the chosen algorithm.
+	Selected Candidate `json:"selected"`
+	// NumAlgorithms is the size of the enumerated set.
+	NumAlgorithms int `json:"num_algorithms"`
+	// Candidates lists the whole set in enumeration order.
+	Candidates []Candidate `json:"candidates"`
+}
+
+// BatchResult pairs one query's record with its error.
+type BatchResult struct {
+	Record *Record
+	Err    error
+}
+
+// Stats exposes the engine's per-layer cache counters.
+type Stats struct {
+	// Expressions counts symbolic-layer lookups: a hit means the
+	// expression (and its symbolic algorithm set) was already
+	// constructed.
+	Expressions cache.Stats `json:"expressions"`
+	// Bindings counts binding-layer lookups of bound algorithm sets.
+	Bindings cache.Stats `json:"bindings"`
+	// Plans and CallPlans count execution-layer plan lookups (measured
+	// backend only; zero-valued on the simulated backend).
+	Plans     cache.Stats `json:"plans"`
+	CallPlans cache.Stats `json:"call_plans"`
+	// Queries counts Query calls; Deduped counts those answered by an
+	// in-flight identical query (singleflight hits).
+	Queries uint64 `json:"queries"`
+	Deduped uint64 `json:"deduped"`
+	// Enumerations is the process-wide count of symbolic enumerations
+	// (ir.Enumerations): flat across repeated queries.
+	Enumerations uint64 `json:"enumerations"`
+	// Backend names the executor.
+	Backend string `json:"backend"`
+}
+
+// strategyEntry pairs a strategy with whether choosing executes
+// algorithms (and must therefore be serialised on the execution lock).
+type strategyEntry struct {
+	s     selection.Strategy
+	timed bool
+}
+
+// flight is one in-flight query the singleflight layer deduplicates
+// against.
+type flight struct {
+	wg  sync.WaitGroup
+	rec *Record
+	err error
+}
+
+// Engine is the concurrency-safe selection engine. All methods are safe
+// for concurrent use.
+type Engine struct {
+	timer *exec.Timer
+	plans *exec.PlanCache // non-nil only for the measured backend
+
+	// mu guards the expression table, its counters, and the binding LRU.
+	mu         sync.Mutex
+	exprs      map[string]expr.Expression
+	exprHits   uint64
+	exprMiss   uint64
+	bind       *cache.LRU[bindKey, []expr.Algorithm]
+	strategies map[string]strategyEntry
+
+	// execMu serialises timing-based strategies: executors measure wall
+	// time, so concurrent measurement would contend for the cores being
+	// measured (and the measured executor is single-threaded anyway).
+	execMu sync.Mutex
+
+	// sfMu guards the singleflight table.
+	sfMu     sync.Mutex
+	inflight map[string]*flight
+
+	queries atomic.Uint64
+	deduped atomic.Uint64
+}
+
+// bindKey identifies a bound algorithm set: canonical expression name
+// plus the instance rendering.
+type bindKey struct {
+	expr string
+	inst string
+}
+
+// New returns an Engine for the given configuration.
+func New(cfg Config) *Engine {
+	ex := cfg.Executor
+	if ex == nil {
+		ex = exec.NewDefaultSimulated()
+	}
+	timer := exec.NewTimer(ex)
+	if cfg.Reps > 0 {
+		timer.Reps = cfg.Reps
+	}
+	bindEntries := cfg.BindEntries
+	if bindEntries <= 0 {
+		bindEntries = DefaultBindEntries
+	}
+	e := &Engine{
+		timer:    timer,
+		exprs:    make(map[string]expr.Expression),
+		bind:     cache.NewLRU[bindKey, []expr.Algorithm](bindEntries),
+		inflight: make(map[string]*flight),
+	}
+	if m, ok := ex.(*exec.Measured); ok {
+		if cfg.PlanEntries <= 0 && cfg.CallPlanEntries <= 0 && m.Plans != nil {
+			// Adopt the executor's cache: plans compiled before the
+			// engine existed (e.g. profile measurement) stay warm, and
+			// a second engine over the same executor shares — rather
+			// than silently orphans — its cache and counters.
+			e.plans = m.Plans
+		} else {
+			planEntries := cfg.PlanEntries
+			if planEntries <= 0 {
+				planEntries = DefaultPlanEntries
+			}
+			callEntries := cfg.CallPlanEntries
+			if callEntries <= 0 {
+				callEntries = DefaultCallPlanEntries
+			}
+			m.Plans = exec.NewPlanCache(planEntries, callEntries)
+			e.plans = m.Plans
+		}
+	}
+	e.strategies = map[string]strategyEntry{
+		"min-flops": {s: selection.MinFlops{}},
+		"oracle":    {s: selection.Oracle{Timer: timer}, timed: true},
+	}
+	if cfg.Profiles != nil {
+		e.strategies["min-predicted"] = strategyEntry{s: selection.MinPredicted{Profiles: cfg.Profiles}}
+	}
+	return e
+}
+
+// Timer returns the engine's timer; experiment runners share it so all
+// measurement flows through the engine's executor (and, on the measured
+// backend, its plan cache).
+func (e *Engine) Timer() *exec.Timer { return e.timer }
+
+// Strategies returns the names of the registered strategies, for
+// error messages and the serve endpoint.
+func (e *Engine) Strategies() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]string, 0, len(e.strategies))
+	for name := range e.strategies {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register makes a custom expression (e.g. one built with
+// lamb.DefineExpression) queryable under its name.
+func (e *Engine) Register(x expr.Expression) error {
+	if x == nil || x.Name() == "" {
+		return fmt.Errorf("engine: cannot register an unnamed expression")
+	}
+	key := strings.ToLower(x.Name())
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.exprs[key]; ok {
+		return fmt.Errorf("engine: expression %q already registered", x.Name())
+	}
+	e.exprs[key] = x
+	return nil
+}
+
+// lookup resolves an expression name through the symbolic-layer cache,
+// falling back to the built-in registry on first sight. counted says
+// whether the lookup belongs to query traffic: administrative callers
+// (ListExpressions) pass false so the hit/miss counters keep
+// reflecting queries only.
+func (e *Engine) lookup(name string, counted bool) (expr.Expression, error) {
+	key := strings.ToLower(name)
+	e.mu.Lock()
+	if x, ok := e.exprs[key]; ok {
+		if counted {
+			e.exprHits++
+		}
+		e.mu.Unlock()
+		return x, nil
+	}
+	if counted {
+		e.exprMiss++
+	}
+	e.mu.Unlock()
+	// Construct outside the lock: building an expression enumerates its
+	// symbolic set, which can be slow for large chains.
+	x, err := expr.Lookup(key)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if prev, ok := e.exprs[key]; ok {
+		x = prev // a concurrent construction won
+	} else {
+		e.exprs[key] = x
+	}
+	e.mu.Unlock()
+	return x, nil
+}
+
+// Expression returns an engine-backed view of the named expression:
+// its Algorithms method binds through the engine's caches. The returned
+// sets are shared and must be treated as read-only — which every
+// runner in this repository already does.
+func (e *Engine) Expression(name string) (expr.Expression, error) {
+	x, err := e.lookup(name, true)
+	if err != nil {
+		return nil, err
+	}
+	return cachedExpr{eng: e, x: x}, nil
+}
+
+// Algorithms returns the bound algorithm set for (expression name,
+// instance) through the binding-layer LRU.
+func (e *Engine) Algorithms(name string, inst expr.Instance) ([]expr.Algorithm, error) {
+	x, err := e.lookup(name, true)
+	if err != nil {
+		return nil, err
+	}
+	return e.algorithmsFor(x, inst)
+}
+
+// algorithmsFor is the binding layer: memoised bound sets per
+// (expression, instance). Binding runs outside the lock — a builder's
+// first touch enumerates its symbolic set, which can be slow for large
+// chains and must not stall unrelated queries. Concurrent misses of
+// the same key may both bind, but the double-check keeps one winner in
+// the cache and everyone returns it, so the sets stay pointer-stable —
+// the plan cache below keys by those pointers.
+func (e *Engine) algorithmsFor(x expr.Expression, inst expr.Instance) ([]expr.Algorithm, error) {
+	if err := x.Validate(inst); err != nil {
+		return nil, err
+	}
+	key := bindKey{expr: x.Name(), inst: inst.String()}
+	e.mu.Lock()
+	if algs, ok := e.bind.Get(key); ok {
+		e.mu.Unlock()
+		return algs, nil
+	}
+	e.mu.Unlock()
+	algs := x.Algorithms(inst)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cached, ok := e.bind.Peek(key); ok {
+		return cached, nil // a concurrent bind won; use its pointers
+	}
+	e.bind.Put(key, algs)
+	return algs, nil
+}
+
+// Query answers one selection request. Concurrent identical queries
+// (same expression, instance, and strategy) are deduplicated: one
+// computes, the rest wait and share its record.
+func (e *Engine) Query(q Query) (*Record, error) {
+	e.queries.Add(1)
+	strat := q.Strategy
+	if strat == "" {
+		strat = DefaultStrategy
+	}
+	key := strings.ToLower(q.Expr) + "|" + q.Instance.String() + "|" + strat
+
+	e.sfMu.Lock()
+	if f, ok := e.inflight[key]; ok {
+		e.sfMu.Unlock()
+		e.deduped.Add(1)
+		f.wg.Wait()
+		return f.rec, f.err
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	e.inflight[key] = f
+	e.sfMu.Unlock()
+
+	f.rec, f.err = e.answer(q, strat)
+
+	e.sfMu.Lock()
+	delete(e.inflight, key)
+	e.sfMu.Unlock()
+	f.wg.Done()
+	return f.rec, f.err
+}
+
+// answer runs the cached pipeline for one query: bind (or fetch) the
+// algorithm set, apply the strategy, render the record.
+func (e *Engine) answer(q Query, strat string) (rec *Record, err error) {
+	defer func() {
+		// The expression layer panics on malformed custom expressions;
+		// a serving engine turns that into a query error instead of
+		// taking the process down.
+		if r := recover(); r != nil {
+			rec, err = nil, fmt.Errorf("engine: query %s%v failed: %v", q.Expr, q.Instance, r)
+		}
+	}()
+	e.mu.Lock()
+	entry, ok := e.strategies[strat]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown strategy %q (registered: %s)", strat, strings.Join(e.Strategies(), ", "))
+	}
+	algs, err := e.Algorithms(q.Expr, q.Instance)
+	if err != nil {
+		return nil, err
+	}
+	var pick int
+	if entry.timed {
+		e.execMu.Lock()
+		pick = entry.s.Choose(algs)
+		e.execMu.Unlock()
+	} else {
+		pick = entry.s.Choose(algs)
+	}
+	cands := make([]Candidate, len(algs))
+	for i := range algs {
+		cands[i] = Candidate{Index: algs[i].Index, Name: algs[i].Name, Flops: algs[i].Flops()}
+	}
+	return &Record{
+		Expr:          strings.ToLower(q.Expr),
+		Instance:      q.Instance.Clone(),
+		Strategy:      strat,
+		Backend:       e.timer.Exec.Name(),
+		Selected:      cands[pick],
+		NumAlgorithms: len(algs),
+		Candidates:    cands,
+	}, nil
+}
+
+// batchWorkers bounds QueryBatch's concurrency.
+func batchWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0) * 2
+	if w < 4 {
+		w = 4
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// QueryBatch answers the queries concurrently (identical queries are
+// deduplicated by the singleflight layer) and returns the results in
+// request order.
+func (e *Engine) QueryBatch(qs []Query) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, batchWorkers(len(qs)))
+	for i := range qs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rec, err := e.Query(qs[i])
+			out[i] = BatchResult{Record: rec, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Stats returns the per-layer cache counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	s := Stats{
+		Expressions: cache.Stats{Hits: e.exprHits, Misses: e.exprMiss, Size: len(e.exprs)},
+		Bindings:    e.bind.Stats(),
+	}
+	e.mu.Unlock()
+	if e.plans != nil {
+		s.Plans, s.CallPlans = e.plans.Stats()
+	}
+	s.Queries = e.queries.Load()
+	s.Deduped = e.deduped.Load()
+	s.Enumerations = ir.Enumerations()
+	s.Backend = e.timer.Exec.Name()
+	return s
+}
+
+// ExpressionInfo describes one queryable expression.
+type ExpressionInfo struct {
+	Name          string `json:"name"`
+	Arity         int    `json:"arity"`
+	NumAlgorithms int    `json:"num_algorithms"`
+}
+
+// ListExpressions returns the queryable expressions — the built-in
+// registry plus anything registered on this engine — keyed by the name
+// a Query would use, sorted.
+func (e *Engine) ListExpressions() []ExpressionInfo {
+	seen := map[string]expr.Expression{}
+	for _, name := range expr.Names() {
+		if x, err := e.lookup(name, false); err == nil {
+			seen[name] = x
+		}
+	}
+	e.mu.Lock()
+	for key, x := range e.exprs {
+		if _, ok := seen[key]; !ok {
+			seen[key] = x
+		}
+	}
+	e.mu.Unlock()
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]ExpressionInfo, 0, len(names))
+	for _, name := range names {
+		x := seen[name]
+		info := ExpressionInfo{Name: name, Arity: x.Arity()}
+		if c, ok := x.(interface{ NumAlgorithms() int }); ok {
+			info.NumAlgorithms = c.NumAlgorithms()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// cachedExpr is the engine-backed Expression view: Algorithms binds
+// through the engine's caches and returns the shared cached set.
+type cachedExpr struct {
+	eng *Engine
+	x   expr.Expression
+}
+
+// Name implements expr.Expression.
+func (c cachedExpr) Name() string { return c.x.Name() }
+
+// Arity implements expr.Expression.
+func (c cachedExpr) Arity() int { return c.x.Arity() }
+
+// Validate implements expr.Expression.
+func (c cachedExpr) Validate(inst expr.Instance) error { return c.x.Validate(inst) }
+
+// Algorithms implements expr.Expression through the binding cache. The
+// returned set is shared: treat it as read-only.
+func (c cachedExpr) Algorithms(inst expr.Instance) []expr.Algorithm {
+	algs, err := c.eng.algorithmsFor(c.x, inst)
+	if err != nil {
+		panic(err)
+	}
+	return algs
+}

@@ -201,6 +201,7 @@ func TestMeasuredTimeCallColdAllKinds(t *testing.T) {
 		kernels.NewGemm(32, 24, 16, "A", "B", "C", false, false),
 		kernels.NewGemm(24, 32, 16, "A", "B", "C", true, true),
 		kernels.NewSyrk(32, 16, "A", "C"),
+		kernels.NewSyrkT(32, 16, "A", "C"),
 		kernels.NewSymm(32, 24, "A", "B", "C"),
 		kernels.NewTri2Full(32, "C"),
 	}

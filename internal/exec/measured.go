@@ -32,19 +32,23 @@ type Measured struct {
 	peakOnce sync.Once
 	peak     float64
 
-	// Single-entry plan caches. The Timer protocol runs Reps consecutive
-	// repetitions of the same algorithm (or call), so one slot captures
-	// all the reuse while keeping memory bounded across an experiment's
-	// many instances. Measured is not safe for concurrent use (it never
-	// was: the fill stream and flush buffer are shared).
-	algPlan  *Plan
-	callPlan *Plan
-	callKey  kernels.Key
+	// Plans is the compiled-plan cache. The Timer protocol runs Reps
+	// consecutive repetitions of the same algorithm (or call), so even a
+	// small LRU captures all the repetition reuse; the engine installs a
+	// larger shared cache so repeated queries skip recompilation across
+	// instances too. Measured itself remains single-threaded (the fill
+	// stream and flush buffer are shared), but the cache is safe to
+	// share.
+	Plans *PlanCache
 }
 
 // NewMeasured returns a measured executor with default settings.
 func NewMeasured() *Measured {
-	return &Measured{FlushBytes: 32 << 20, fillRng: xrand.New(0xfeed)}
+	return &Measured{
+		FlushBytes: 32 << 20,
+		fillRng:    xrand.New(0xfeed),
+		Plans:      NewPlanCache(DefaultAlgPlanEntries, DefaultCallPlanEntries),
+	}
 }
 
 // flushCache streams writes through the flush buffer, evicting cached
@@ -64,19 +68,16 @@ func (e *Measured) flushCache() {
 	}
 }
 
-// plan returns the compiled plan for alg, compiling on first sight. The
-// cache holds one entry: the measurement protocol repeats the same
-// algorithm back to back, so this captures every repetition after the
-// first while staying bounded.
+// plan returns the compiled plan for alg through the plan cache,
+// compiling on first sight. The measurement protocol repeats the same
+// algorithm back to back, so every repetition after the first is a
+// cache hit (and performs no heap allocations).
 func (e *Measured) plan(alg *expr.Algorithm) *Plan {
-	if e.algPlan == nil || e.algPlan.Alg() != alg {
-		p, err := CompilePlan(alg)
-		if err != nil {
-			panic(fmt.Sprintf("exec: %v", err))
-		}
-		e.algPlan = p
+	p, err := e.Plans.Plan(alg)
+	if err != nil {
+		panic(fmt.Sprintf("exec: %v", err))
 	}
-	return e.algPlan
+	return p
 }
 
 // Dispatch executes a single call on the operand map using the pure-Go
@@ -88,7 +89,11 @@ func Dispatch(call kernels.Call, ops map[string]*mat.Dense) {
 	case kernels.Gemm:
 		blas.Gemm(call.TransA, call.TransB, 1, ops[call.In[0]], ops[call.In[1]], 0, ops[call.Out])
 	case kernels.Syrk:
-		blas.Syrk(mat.Lower, 1, ops[call.In[0]], 0, ops[call.Out])
+		if call.TransA {
+			blas.SyrkT(mat.Lower, 1, ops[call.In[0]], 0, ops[call.Out])
+		} else {
+			blas.Syrk(mat.Lower, 1, ops[call.In[0]], 0, ops[call.Out])
+		}
 	case kernels.Symm:
 		blas.Symm(mat.Lower, 1, ops[call.In[0]], ops[call.In[1]], 0, ops[call.Out])
 	case kernels.Tri2Full:
@@ -140,17 +145,14 @@ func (e *Measured) TimeAlgorithm(alg *expr.Algorithm, rep uint64) []float64 {
 }
 
 // TimeCallCold implements Executor: the call runs through a compiled
-// single-call plan whose operands are refilled in place after the first
-// repetition, so no allocation happens after the cache flush.
+// single-call plan (cached by MemoKey) whose operands are refilled in
+// place after the first repetition, so no allocation happens after the
+// cache flush.
 func (e *Measured) TimeCallCold(call kernels.Call, rep uint64) float64 {
-	if key := call.MemoKey(); e.callPlan == nil || e.callKey != key {
-		p, err := CompileCallPlan(call)
-		if err != nil {
-			panic(fmt.Sprintf("exec: %v", err))
-		}
-		e.callPlan, e.callKey = p, key
+	p, err := e.Plans.CallPlan(call)
+	if err != nil {
+		panic(fmt.Sprintf("exec: %v", err))
 	}
-	p := e.callPlan
 	p.FillInputs(e.fillRng)
 	e.flushCache()
 	start := time.Now()

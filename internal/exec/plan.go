@@ -297,6 +297,9 @@ func bindCall(c kernels.Call, get func(string) *mat.Dense) (func(), error) {
 		return func() { blas.Gemm(tA, tB, 1, a, b, 0, out) }, nil
 	case kernels.Syrk:
 		a, out := get(c.In[0]), get(c.Out)
+		if c.TransA {
+			return func() { blas.SyrkT(mat.Lower, 1, a, 0, out) }, nil
+		}
 		return func() { blas.Syrk(mat.Lower, 1, a, 0, out) }, nil
 	case kernels.Symm:
 		a, b, out := get(c.In[0]), get(c.In[1]), get(c.Out)

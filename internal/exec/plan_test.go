@@ -150,6 +150,7 @@ func TestMeasuredTimeCallColdZeroAllocs(t *testing.T) {
 	for _, call := range []kernels.Call{
 		kernels.NewGemm(32, 24, 16, "A", "B", "C", false, false),
 		kernels.NewSyrk(24, 16, "A", "C"),
+		kernels.NewSyrkT(24, 16, "A", "C"),
 		kernels.NewSymm(24, 16, "A", "B", "C"),
 		kernels.NewTri2Full(24, "C"),
 		kernels.NewPotrf(24, "S"),
@@ -174,6 +175,7 @@ func TestCompileCallPlanAllKinds(t *testing.T) {
 		kernels.NewGemm(10, 12, 14, "A", "B", "C", false, false),
 		kernels.NewGemm(10, 12, 14, "A", "B", "C", true, true),
 		kernels.NewSyrk(10, 14, "A", "C"),
+		kernels.NewSyrkT(10, 14, "A", "C"),
 		kernels.NewSymm(10, 12, "A", "B", "C"),
 		kernels.NewTri2Full(10, "C"),
 		kernels.NewPotrf(10, "S"),

@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"testing"
+
+	"lamb/internal/expr"
+	"lamb/internal/kernels"
+)
+
+func TestPlanCacheAlgHitMissEvict(t *testing.T) {
+	c := NewPlanCache(2, 2)
+	algs := expr.NewAATB().Algorithms(expr.Instance{8, 6, 4})
+	p0, err := c.Plan(&algs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1, err := c.Plan(&algs[0]); err != nil || p1 != p0 {
+		t.Fatalf("repeat Plan returned %p (err %v), want cached %p", p1, err, p0)
+	}
+	if _, err := c.Plan(&algs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Plan(&algs[2]); err != nil { // evicts algs[0]
+		t.Fatal(err)
+	}
+	stats, _ := c.Stats()
+	if stats.Hits != 1 || stats.Misses != 3 || stats.Evictions != 1 {
+		t.Fatalf("alg stats %+v", stats)
+	}
+	// The evicted plan recompiles into a fresh object.
+	p0again, err := c.Plan(&algs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0again == p0 {
+		t.Fatal("evicted plan was not recompiled")
+	}
+}
+
+func TestPlanCacheCallKeyedByMemoKey(t *testing.T) {
+	c := NewPlanCache(2, 2)
+	// Same shape, different operand IDs: one plan.
+	a := kernels.NewGemm(8, 9, 10, "A", "B", "C", false, false)
+	b := kernels.NewGemm(8, 9, 10, "P", "Q", "R", false, false)
+	pa, err := c.CallPlan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.CallPlan(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa != pb {
+		t.Fatal("calls with equal memo keys got distinct plans")
+	}
+	// A transposed read is a different key.
+	tr, err := c.CallPlan(kernels.NewGemm(8, 9, 10, "A", "B", "C", true, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == pa {
+		t.Fatal("transposed call shared the untransposed plan")
+	}
+	_, stats := c.Stats()
+	if stats.Hits != 1 || stats.Misses != 2 {
+		t.Fatalf("call stats %+v", stats)
+	}
+}
+
+func TestPlanCacheRejectsInvalid(t *testing.T) {
+	c := NewPlanCache(2, 2)
+	if _, err := c.Plan(&expr.Algorithm{Name: "empty"}); err == nil {
+		t.Fatal("invalid algorithm compiled")
+	}
+	if _, err := c.CallPlan(kernels.Call{Kind: kernels.Gemm}); err == nil {
+		t.Fatal("invalid call compiled")
+	}
+}
+
+func TestPlanCacheHitAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	c := NewPlanCache(4, 4)
+	algs := expr.NewAATB().Algorithms(expr.Instance{8, 6, 4})
+	call := kernels.NewSyrkT(8, 6, "A", "C")
+	if _, err := c.Plan(&algs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CallPlan(call); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := c.Plan(&algs[0]); err != nil {
+			t.Error(err)
+		}
+		if _, err := c.CallPlan(call); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocated %v per run, want 0", allocs)
+	}
+}

@@ -44,10 +44,10 @@ func (e AATB) def() *ir.Def {
 }
 
 // Algorithms implements Expression, returning the paper's Algorithms 1–5
-// in order.
+// in order by binding the cached symbolic set.
 func (e AATB) Algorithms(inst Instance) []Algorithm {
 	if err := e.Validate(inst); err != nil {
 		panic(err)
 	}
-	return ir.MustEnumerate(e.def(), inst)
+	return cachedSet(e.Name(), e.def).MustBind(inst)
 }

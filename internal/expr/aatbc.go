@@ -42,10 +42,10 @@ func (e AATBC) Validate(inst Instance) error {
 // NumAlgorithms returns 15, the size of the generated set.
 func (AATBC) NumAlgorithms() int { return 15 }
 
-// Algorithms implements Expression by enumerating the IR.
+// Algorithms implements Expression by binding the cached symbolic set.
 func (e AATBC) Algorithms(inst Instance) []Algorithm {
 	if err := e.Validate(inst); err != nil {
 		panic(err)
 	}
-	return ir.MustEnumerate(aatbcDef, inst)
+	return cachedSet(e.Name(), func() *ir.Def { return aatbcDef }).MustBind(inst)
 }

@@ -143,7 +143,7 @@ func TestNewExpressionValidateRejects(t *testing.T) {
 }
 
 func TestRegistryLookup(t *testing.T) {
-	wantNames := []string{"aatb", "aatbc", "chain", "gls", "lstsq"}
+	wantNames := []string{"aatb", "aatbc", "atab", "chain", "gls", "lstsq"}
 	got := Names()
 	if len(got) != len(wantNames) {
 		t.Fatalf("registry names %v", got)

@@ -1,0 +1,56 @@
+package expr
+
+import "lamb/internal/ir"
+
+// ATAB is the transposed-Gram expression X := Aᵀ·A·B with A ∈ ℝ^{d0×d1}
+// and B ∈ ℝ^{d1×d2}. An instance is the tuple (d0, d1, d2).
+//
+// It is the mirror image of the paper's AAᵀB case study and the first
+// expression enabled by widening the IR fragment with the
+// transposed-SYRK rewrite (Aᵀ·A → dsyrk trans='T'): before the widening
+// the Gram product lowered to GEMM only, collapsing the set to three
+// algorithms. With the rewrite the enumerator derives the full mirror
+// of Figure 5:
+//
+//	1: M1 := syrk(Aᵀ·A);             X := symm(M1·B)
+//	2: M1 := syrk(Aᵀ·A); tri2full;   X := gemm(M1·B)
+//	3: M1 := gemm(Aᵀ·A);             X := symm(M1·B)
+//	4: M1 := gemm(Aᵀ·A);             X := gemm(M1·B)
+//	5: M1 := gemm(A·B);              X := gemm(Aᵀ·M1)
+//
+// This is the normal-equations Gram matrix orientation (AᵀA rather than
+// AAᵀ), so the same anomaly structure the paper studies now covers the
+// tall-matrix regression layout.
+type ATAB struct{}
+
+// NewATAB returns the AᵀAB expression.
+func NewATAB() ATAB { return ATAB{} }
+
+// Name implements Expression.
+func (ATAB) Name() string { return "ATAB" }
+
+// Arity implements Expression: instances are (d0, d1, d2).
+func (ATAB) Arity() int { return 3 }
+
+// Validate implements Expression.
+func (e ATAB) Validate(inst Instance) error {
+	return validateDims(e.Name(), e.Arity(), inst)
+}
+
+// NumAlgorithms returns 5, the size of the generated set.
+func (ATAB) NumAlgorithms() int { return 5 }
+
+// def builds the IR: the associative product Aᵀ·A·B.
+func (e ATAB) def() *ir.Def {
+	a := ir.NewOperand("A", 0, 1)
+	b := ir.NewOperand("B", 1, 2)
+	return &ir.Def{Name: e.Name(), Arity: e.Arity(), Root: ir.Mul(ir.T(a), a, b)}
+}
+
+// Algorithms implements Expression by binding the cached symbolic set.
+func (e ATAB) Algorithms(inst Instance) []Algorithm {
+	if err := e.Validate(inst); err != nil {
+		panic(err)
+	}
+	return cachedSet(e.Name(), e.def).MustBind(inst)
+}

@@ -65,12 +65,13 @@ func (c Chain) def() *ir.Def {
 	return &ir.Def{Name: c.Name(), Arity: c.Arity(), Root: ir.Mul(factors...), Style: ir.StyleBare}
 }
 
-// Algorithms implements Expression by enumerating the chain's IR.
+// Algorithms implements Expression by binding the chain's cached
+// symbolic set (enumerated once per term count).
 func (c Chain) Algorithms(inst Instance) []Algorithm {
 	if err := c.Validate(inst); err != nil {
 		panic(err)
 	}
-	return ir.MustEnumerate(c.def(), inst)
+	return cachedSet(c.Name(), c.def).MustBind(inst)
 }
 
 // MinFlopsParenthesisation solves the classic matrix-chain ordering

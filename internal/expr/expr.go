@@ -67,33 +67,23 @@ func validateDims(name string, arity int, inst Instance) error {
 // algorithm set is whatever the enumerator derives from the tree. The
 // built-in expressions are all Generic underneath; external callers can
 // define new ones through the public builder API in package lamb.
+//
+// Construction enumerates the symbolic algorithm set once (the
+// enumerator is purely structural); Algorithms is then a cheap bind of
+// the cached set against the requested instance.
 type Generic struct {
-	def     *ir.Def
-	numAlgs int
+	set *ir.SymbolicSet
 }
 
-// probeInstance is a small well-formed instance used to exercise the
-// enumerator independently of any real problem sizes.
-func probeInstance(arity int) Instance {
-	probe := make(Instance, arity)
-	for i := range probe {
-		probe[i] = 2 + i
-	}
-	return probe
-}
-
-// NewGeneric validates the definition and wraps it as an Expression.
+// NewGeneric validates the definition, enumerates its symbolic
+// algorithm set, and wraps it as an Expression. Unsupported fragments
+// surface here, not mid-experiment.
 func NewGeneric(def *ir.Def) (Generic, error) {
-	if err := def.Validate(); err != nil {
-		return Generic{}, err
-	}
-	// Fail fast on unsupported fragments: enumerate once at a probe
-	// instance so construction errors surface here, not mid-experiment.
-	algs, err := ir.Enumerate(def, probeInstance(def.Arity))
+	set, err := ir.EnumerateSymbolic(def)
 	if err != nil {
 		return Generic{}, err
 	}
-	return Generic{def: def, numAlgs: len(algs)}, nil
+	return Generic{set: set}, nil
 }
 
 // MustGeneric is NewGeneric panicking on error; the built-in builders
@@ -107,20 +97,23 @@ func MustGeneric(def *ir.Def) Generic {
 }
 
 // Name implements Expression.
-func (g Generic) Name() string { return g.def.Name }
+func (g Generic) Name() string { return g.set.Def().Name }
 
 // Arity implements Expression.
-func (g Generic) Arity() int { return g.def.Arity }
+func (g Generic) Arity() int { return g.set.Def().Arity }
 
 // Def exposes the underlying IR definition.
-func (g Generic) Def() *ir.Def { return g.def }
+func (g Generic) Def() *ir.Def { return g.set.Def() }
+
+// Symbolic exposes the cached symbolic algorithm set.
+func (g Generic) Symbolic() *ir.SymbolicSet { return g.set }
 
 // Validate implements Expression.
-func (g Generic) Validate(inst Instance) error { return g.def.ValidateInstance(inst) }
+func (g Generic) Validate(inst Instance) error { return g.set.Def().ValidateInstance(inst) }
 
-// Algorithms implements Expression.
-func (g Generic) Algorithms(inst Instance) []Algorithm { return ir.MustEnumerate(g.def, inst) }
+// Algorithms implements Expression: a bind of the cached symbolic set.
+func (g Generic) Algorithms(inst Instance) []Algorithm { return g.set.MustBind(inst) }
 
 // NumAlgorithms returns the size of the generated algorithm set (which
 // is instance-independent, counted once at construction).
-func (g Generic) NumAlgorithms() int { return g.numAlgs }
+func (g Generic) NumAlgorithms() int { return g.set.Len() }

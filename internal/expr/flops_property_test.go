@@ -57,7 +57,11 @@ func checkCallShapes(a *Algorithm, c kernels.Call) error {
 			return fmt.Errorf("gemm %v reads %v and %v", c, in(0), in(1))
 		}
 	case kernels.Syrk:
-		if in(0).Rows != c.M || in(0).Cols != c.K {
+		ar, ac := in(0).Rows, in(0).Cols
+		if c.TransA {
+			ar, ac = ac, ar
+		}
+		if ar != c.M || ac != c.K {
 			return fmt.Errorf("syrk %v reads %v", c, in(0))
 		}
 	case kernels.Symm:

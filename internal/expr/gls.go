@@ -48,10 +48,10 @@ func (e GLS) Validate(inst Instance) error {
 // NumAlgorithms returns 8, the size of the generated set.
 func (GLS) NumAlgorithms() int { return 8 }
 
-// Algorithms implements Expression by enumerating the IR.
+// Algorithms implements Expression by binding the cached symbolic set.
 func (e GLS) Algorithms(inst Instance) []Algorithm {
 	if err := e.Validate(inst); err != nil {
 		panic(err)
 	}
-	return ir.MustEnumerate(glsDef, inst)
+	return cachedSet(e.Name(), func() *ir.Def { return glsDef }).MustBind(inst)
 }

@@ -198,6 +198,64 @@ func TestGoldenAATB(t *testing.T) {
 	checkGolden(t, NewAATB().Algorithms(inst), want, []string{"A", "B"}, nil)
 }
 
+func TestGoldenATAB(t *testing.T) {
+	// The mirror of the paper's AAᵀB golden instance: A transposed, so
+	// the Gram matrix is the 80×80 normal-equations AᵀA. Pins the set
+	// generated by the transposed-SYRK fragment widening; FLOP totals
+	// match TestGoldenAATB exactly, algorithm for algorithm.
+	inst := Instance{514, 80, 768}
+	sh := func(m1 Shape) map[string]Shape {
+		return map[string]Shape{
+			"A": shp(514, 80), "B": shp(80, 768), "M1": m1, "X": shp(80, 768),
+		}
+	}
+	sq, rect := shp(80, 80), shp(514, 768)
+	want := []golden{
+		{
+			name: "M1:=syrk(Aᵀ·A); X:=symm(M1·B)",
+			calls: []kernels.Call{
+				kernels.NewSyrkT(80, 514, "A", "M1"),
+				kernels.NewSymm(80, 768, "M1", "B", "X"),
+			},
+			shapes: sh(sq), flops: 13_161_120,
+		},
+		{
+			name: "M1:=syrk(Aᵀ·A); tri2full(M1); X:=gemm(M1·B)",
+			calls: []kernels.Call{
+				kernels.NewSyrkT(80, 514, "A", "M1"),
+				kernels.NewTri2Full(80, "M1"),
+				kernels.NewGemm(80, 768, 80, "M1", "B", "X", false, false),
+			},
+			shapes: sh(sq), flops: 13_161_120,
+		},
+		{
+			name: "M1:=gemm(Aᵀ·A); X:=symm(M1·B)",
+			calls: []kernels.Call{
+				kernels.NewGemm(80, 80, 514, "A", "A", "M1", true, false),
+				kernels.NewSymm(80, 768, "M1", "B", "X"),
+			},
+			shapes: sh(sq), flops: 16_409_600,
+		},
+		{
+			name: "M1:=gemm(Aᵀ·A); X:=gemm(M1·B)",
+			calls: []kernels.Call{
+				kernels.NewGemm(80, 80, 514, "A", "A", "M1", true, false),
+				kernels.NewGemm(80, 768, 80, "M1", "B", "X", false, false),
+			},
+			shapes: sh(sq), flops: 16_409_600,
+		},
+		{
+			name: "M1:=gemm(A·B); X:=gemm(Aᵀ·M1)",
+			calls: []kernels.Call{
+				kernels.NewGemm(514, 768, 80, "A", "B", "M1", false, false),
+				kernels.NewGemm(80, 768, 514, "A", "M1", "X", true, false),
+			},
+			shapes: sh(rect), flops: 126_320_640,
+		},
+	}
+	checkGolden(t, NewATAB().Algorithms(inst), want, []string{"A", "B"}, nil)
+}
+
 func TestGoldenLstSq(t *testing.T) {
 	inst := Instance{120, 500, 80}
 	shapes := map[string]Shape{

@@ -60,10 +60,10 @@ func (e LstSq) def() *ir.Def {
 	return &ir.Def{Name: e.Name(), Arity: e.Arity(), Root: ir.Solve(gram, ir.Mul(a, b))}
 }
 
-// Algorithms implements Expression by enumerating the IR.
+// Algorithms implements Expression by binding the cached symbolic set.
 func (e LstSq) Algorithms(inst Instance) []Algorithm {
 	if err := e.Validate(inst); err != nil {
 		panic(err)
 	}
-	return ir.MustEnumerate(e.def(), inst)
+	return cachedSet(e.Name(), e.def).MustBind(inst)
 }

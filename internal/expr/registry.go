@@ -12,6 +12,7 @@ import (
 var registry = map[string]func() Expression{
 	"chain": func() Expression { return NewChainABCD() },
 	"aatb":  func() Expression { return NewAATB() },
+	"atab":  func() Expression { return NewATAB() },
 	"lstsq": func() Expression { return NewLstSq() },
 	"aatbc": func() Expression { return NewAATBC() },
 	"gls":   func() Expression { return NewGLS() },

@@ -1,0 +1,28 @@
+package expr
+
+import (
+	"sync"
+
+	"lamb/internal/ir"
+)
+
+// symSets caches the symbolic algorithm set of every built-in
+// expression, keyed by expression name (chain sets are per term count:
+// the name embeds it). Enumeration is structural and instance-free, so
+// one set serves every instance for the lifetime of the process — this
+// is the symbolic layer of the engine's cache hierarchy. Values are
+// *ir.SymbolicSet, which is immutable and safe for concurrent binds.
+var symSets sync.Map
+
+// cachedSet returns the symbolic set for the named expression, building
+// and enumerating the definition on first use. mk must be deterministic
+// for a given name; concurrent first calls may both enumerate, with one
+// result winning the cache.
+func cachedSet(name string, mk func() *ir.Def) *ir.SymbolicSet {
+	if v, ok := symSets.Load(name); ok {
+		return v.(*ir.SymbolicSet)
+	}
+	set := ir.MustEnumerateSymbolic(mk())
+	v, _ := symSets.LoadOrStore(name, set)
+	return v.(*ir.SymbolicSet)
+}

@@ -17,7 +17,8 @@ import (
 //     contraction of adjacent factor pairs — finer-grained than
 //     parenthesisations, matching the paper's algorithm numbering for
 //     the chain (Figure 3);
-//   - Gram products A·Aᵀ: SYRK (half the FLOPs, triangular result)
+//   - Gram products A·Aᵀ and Aᵀ·A: SYRK (half the FLOPs, triangular
+//     result; the transposed read lowers to the kernel's TransA flag)
 //     before GEMM;
 //   - products with a symmetric left operand: SYMM before GEMM, with a
 //     Tri2Full copy inserted whenever a triangle-only operand feeds a
@@ -31,12 +32,17 @@ import (
 // Enumeration order is deterministic: choice points are visited outer
 // to inner in the order listed above, which reproduces the paper's
 // algorithm numbering for the pinned expressions.
+//
+// Lowering is entirely symbolic: dimensions stay Dim references, so one
+// enumeration serves every instance of the expression. Binding a
+// concrete instance (SymbolicSet.Bind) is a substitution pass.
 
 // value describes one operand available during lowering: an input leaf
-// (possibly read transposed) or a materialised intermediate.
+// (possibly read transposed) or a materialised intermediate. Dimensions
+// are symbolic.
 type value struct {
 	id         string
-	rows, cols int
+	rows, cols Dim
 	// sym marks a mathematically symmetric value; spd additionally
 	// positive definite; tri means only the lower triangle is stored
 	// (a SYRK result before any Tri2Full).
@@ -58,14 +64,14 @@ func (v value) render() string {
 // shapeEntry records one operand materialised by a plan.
 type shapeEntry struct {
 	id string
-	sh Shape
+	sh SymShape
 }
 
-// plan is one derivation prefix: the ordered calls emitted so far, their
-// step names, the shapes of materialised operands, the number of M<i>
-// temporaries consumed, and the value produced.
+// plan is one derivation prefix: the ordered call skeletons emitted so
+// far, their step names, the shapes of materialised operands, the number
+// of M<i> temporaries consumed, and the value produced.
 type plan struct {
-	calls []kernels.Call
+	calls []SymCall
 	steps []string
 	local []shapeEntry
 	temps int
@@ -76,7 +82,7 @@ type plan struct {
 // Slices are freshly allocated so plans can be shared across branches.
 func (p plan) then(q plan) plan {
 	out := plan{
-		calls: make([]kernels.Call, 0, len(p.calls)+len(q.calls)),
+		calls: make([]SymCall, 0, len(p.calls)+len(q.calls)),
 		steps: make([]string, 0, len(p.steps)+len(q.steps)),
 		local: make([]shapeEntry, 0, len(p.local)+len(q.local)),
 		temps: p.temps + q.temps,
@@ -88,13 +94,46 @@ func (p plan) then(q plan) plan {
 	return out
 }
 
-// enum carries the per-enumeration state.
-type enum struct {
-	def  *Def
-	inst Instance
+// Symbolic call constructors, mirroring the kernels.New* constructors so
+// binding reproduces their output exactly (dimension conventions
+// included — SYRK's N≡M, SYMM's K≡M, the in-place aliases).
+
+func symGemm(m, n, k Dim, a, b, c string, transA, transB bool) SymCall {
+	return SymCall{Kind: kernels.Gemm, M: m, N: n, K: k, TransA: transA, TransB: transB, In: []string{a, b}, Out: c}
 }
 
-func (e *enum) dim(d Dim) int { return e.inst[d] }
+func symSyrk(m, k Dim, a, c string) SymCall {
+	return SymCall{Kind: kernels.Syrk, M: m, N: m, K: k, In: []string{a}, Out: c}
+}
+
+func symSyrkT(m, k Dim, a, c string) SymCall {
+	return SymCall{Kind: kernels.Syrk, M: m, N: m, K: k, TransA: true, In: []string{a}, Out: c}
+}
+
+func symSymm(m, n Dim, a, b, c string) SymCall {
+	return SymCall{Kind: kernels.Symm, M: m, N: n, K: m, In: []string{a, b}, Out: c}
+}
+
+func symTri2Full(m Dim, c string) SymCall {
+	return SymCall{Kind: kernels.Tri2Full, M: m, N: m, K: NoDim, In: []string{c}, Out: c}
+}
+
+func symPotrf(m Dim, s string) SymCall {
+	return SymCall{Kind: kernels.Potrf, M: m, N: m, K: NoDim, In: []string{s}, Out: s}
+}
+
+func symTrsm(m, n Dim, l, b string, trans bool) SymCall {
+	return SymCall{Kind: kernels.Trsm, M: m, N: n, K: NoDim, TransA: trans, In: []string{l, b}, Out: b}
+}
+
+func symAddSym(m Dim, c, a string) SymCall {
+	return SymCall{Kind: kernels.AddSym, M: m, N: m, K: NoDim, In: []string{c, a}, Out: c}
+}
+
+// enum carries the per-enumeration state.
+type enum struct {
+	def *Def
+}
 
 // leafValue returns the value of a leaf node (an operand or a
 // transposed operand). Transposing a symmetric operand is the identity.
@@ -103,7 +142,7 @@ func (e *enum) leafValue(n Node) (value, error) {
 	case *Operand:
 		return value{
 			id:   n.ID,
-			rows: e.dim(n.RowDim), cols: e.dim(n.ColDim),
+			rows: n.RowDim, cols: n.ColDim,
 			sym: n.Props.Has(Symmetric), spd: n.Props.Has(SPD), tri: n.Props.Has(LowerTri),
 			leaf: true,
 		}, nil
@@ -362,7 +401,7 @@ func tri2full(v value) (plan, error) {
 		return plan{}, fmt.Errorf("ir: triangle-stored input %q cannot feed a full-storage kernel (the Tri2Full copy would mutate the input)", v.id)
 	}
 	return plan{
-		calls: []kernels.Call{kernels.NewTri2Full(v.rows, v.id)},
+		calls: []SymCall{symTri2Full(v.rows, v.id)},
 		steps: []string{"tri2full(" + v.id + ")"},
 	}, nil
 }
@@ -372,11 +411,11 @@ func tri2full(v value) (plan, error) {
 // the algorithm numbering.
 func (e *enum) pairPlans(l, r value, out string) ([]plan, error) {
 	if l.cols != r.rows {
-		return nil, fmt.Errorf("ir: product %s·%s has mismatched inner dimensions %d and %d",
-			l.render(), r.render(), l.cols, r.rows)
+		return nil, fmt.Errorf("ir: product %s·%s has mismatched inner dimensions %s and %s",
+			l.render(), r.render(), l.cols.render(), r.rows.render())
 	}
 	m, n, k := l.rows, r.cols, l.cols
-	outShape := shapeEntry{id: out, sh: Shape{Rows: m, Cols: n}}
+	outShape := shapeEntry{id: out, sh: SymShape{Rows: m, Cols: n}}
 	gemmVal := value{id: out, rows: m, cols: n}
 
 	// Gram product A·Aᵀ: SYRK (triangular result) or GEMM; both yield a
@@ -384,14 +423,14 @@ func (e *enum) pairPlans(l, r value, out string) ([]plan, error) {
 	if l.leaf && r.leaf && l.id == r.id && !l.trans && r.trans {
 		symVal := value{id: out, rows: m, cols: m, sym: true}
 		syrk := plan{
-			calls: []kernels.Call{kernels.NewSyrk(m, k, l.id, out)},
+			calls: []SymCall{symSyrk(m, k, l.id, out)},
 			steps: []string{e.step(out, "syrk", l, r)},
 			local: []shapeEntry{outShape},
 			val:   symVal,
 		}
 		syrk.val.tri = true
 		gemm := plan{
-			calls: []kernels.Call{kernels.NewGemm(m, m, k, l.id, r.id, out, false, true)},
+			calls: []SymCall{symGemm(m, m, k, l.id, r.id, out, false, true)},
 			steps: []string{e.step(out, "gemm", l, r)},
 			local: []shapeEntry{outShape},
 			val:   symVal,
@@ -399,16 +438,24 @@ func (e *enum) pairPlans(l, r value, out string) ([]plan, error) {
 		return []plan{syrk, gemm}, nil
 	}
 
-	// Gram product Aᵀ·A: symmetric, but the kernel set has no
-	// transposed SYRK, so GEMM is the only choice.
+	// Gram product Aᵀ·A: the transposed-SYRK rewrite (dsyrk trans='T'),
+	// then GEMM — the mirror image of the A·Aᵀ case.
 	if l.leaf && r.leaf && l.id == r.id && l.trans && !r.trans {
-		g := plan{
-			calls: []kernels.Call{kernels.NewGemm(m, m, k, l.id, r.id, out, true, false)},
+		symVal := value{id: out, rows: m, cols: m, sym: true}
+		syrk := plan{
+			calls: []SymCall{symSyrkT(m, k, l.id, out)},
+			steps: []string{e.step(out, "syrk", l, r)},
+			local: []shapeEntry{outShape},
+			val:   symVal,
+		}
+		syrk.val.tri = true
+		gemm := plan{
+			calls: []SymCall{symGemm(m, m, k, l.id, r.id, out, true, false)},
 			steps: []string{e.step(out, "gemm", l, r)},
 			local: []shapeEntry{outShape},
-			val:   value{id: out, rows: m, cols: m, sym: true},
+			val:   symVal,
 		}
-		return []plan{g}, nil
+		return []plan{syrk, gemm}, nil
 	}
 
 	// Symmetric left operand: SYMM (reads the lower triangle, so a
@@ -418,7 +465,7 @@ func (e *enum) pairPlans(l, r value, out string) ([]plan, error) {
 		var out2 []plan
 		if !r.trans { // SYMM has no transposed-B read
 			symm := plan{
-				calls: []kernels.Call{kernels.NewSymm(m, n, l.id, r.id, out)},
+				calls: []SymCall{symSymm(m, n, l.id, r.id, out)},
 				steps: []string{e.step(out, "symm", l, r)},
 				local: []shapeEntry{outShape},
 				val:   gemmVal,
@@ -454,9 +501,9 @@ func (e *enum) pairPlans(l, r value, out string) ([]plan, error) {
 func (e *enum) gemmPlan(l, r value, out string, transA bool) (plan, error) {
 	m, n, k := l.rows, r.cols, l.cols
 	gemm := plan{
-		calls: []kernels.Call{kernels.NewGemm(m, n, k, l.id, r.id, out, transA, r.trans)},
+		calls: []SymCall{symGemm(m, n, k, l.id, r.id, out, transA, r.trans)},
 		steps: []string{e.step(out, "gemm", l, r)},
-		local: []shapeEntry{shapeEntry{id: out, sh: Shape{Rows: m, Cols: n}}},
+		local: []shapeEntry{shapeEntry{id: out, sh: SymShape{Rows: m, Cols: n}}},
 		val:   value{id: out, rows: m, cols: n},
 	}
 	if r.tri && r.id != l.id {
@@ -517,12 +564,12 @@ func (e *enum) lowerSum(s *Sum, dest string, nextTemp int) ([]plan, error) {
 		if !v.sym {
 			return nil, fmt.Errorf("ir: sum %q computed term %s is not symmetric", s.Name, comp.render())
 		}
-		if v.rows != v.cols || v.rows != e.dim(leafOp.RowDim) {
-			return nil, fmt.Errorf("ir: sum %q terms have mismatched shapes %dx%d and %dx%d",
-				s.Name, v.rows, v.cols, e.dim(leafOp.RowDim), e.dim(leafOp.ColDim))
+		if v.rows != v.cols || v.rows != leafOp.RowDim {
+			return nil, fmt.Errorf("ir: sum %q terms have mismatched shapes %sx%s and %sx%s",
+				s.Name, v.rows.render(), v.cols.render(), leafOp.RowDim.render(), leafOp.ColDim.render())
 		}
 		add := plan{
-			calls: []kernels.Call{kernels.NewAddSym(v.rows, s.Name, leafOp.ID)},
+			calls: []SymCall{symAddSym(v.rows, s.Name, leafOp.ID)},
 			steps: []string{s.Name + "+=" + leafOp.ID},
 		}
 		np := p.then(add)
@@ -571,7 +618,7 @@ func (e *enum) lowerSolve(inv *Inverse, rhs Node, dest string, nextTemp int) ([]
 			return nil, fmt.Errorf("ir: inverse of %s needs an SPD operand (only Cholesky lowering is supported)", inv.X.render())
 		}
 		chol := sp.then(plan{
-			calls: []kernels.Call{kernels.NewPotrf(sv.rows, sv.id)},
+			calls: []SymCall{symPotrf(sv.rows, sv.id)},
 			steps: []string{"L:=potrf(" + sv.id + ")"},
 		})
 		for _, pp := range pPlans {
@@ -580,13 +627,13 @@ func (e *enum) lowerSolve(inv *Inverse, rhs Node, dest string, nextTemp int) ([]
 				return nil, fmt.Errorf("ir: solve right-hand side did not materialise %q", dest)
 			}
 			if sv.rows != pv.rows {
-				return nil, fmt.Errorf("ir: solve %s·%s has mismatched dimensions %d and %d",
-					inv.render(), rhs.render(), sv.rows, pv.rows)
+				return nil, fmt.Errorf("ir: solve %s·%s has mismatched dimensions %s and %s",
+					inv.render(), rhs.render(), sv.rows.render(), pv.rows.render())
 			}
 			solves := plan{
-				calls: []kernels.Call{
-					kernels.NewTrsm(sv.rows, pv.cols, sv.id, dest, false),
-					kernels.NewTrsm(sv.rows, pv.cols, sv.id, dest, true),
+				calls: []SymCall{
+					symTrsm(sv.rows, pv.cols, sv.id, dest, false),
+					symTrsm(sv.rows, pv.cols, sv.id, dest, true),
 				},
 				steps: []string{"trsm(L)", "trsm(Lᵀ)"},
 			}
@@ -604,32 +651,31 @@ func (e *enum) lowerSolve(inv *Inverse, rhs Node, dest string, nextTemp int) ([]
 	return out, nil
 }
 
-// Enumerate generates the complete algorithm set of the definition for
-// one instance: every derivation the rewrite rules produce, lowered to
-// kernel calls, named, shape-checked, and numbered in enumeration
-// order.
-func Enumerate(def *Def, inst Instance) ([]Algorithm, error) {
+// EnumerateSymbolic generates the complete symbolic algorithm set of the
+// definition: every derivation the rewrite rules produce, lowered to
+// call skeletons, named, shape-checked, and numbered in enumeration
+// order. Enumeration is instance-independent and runs once per
+// expression; Bind resolves the set against concrete instances.
+func EnumerateSymbolic(def *Def) (*SymbolicSet, error) {
 	if err := def.Validate(); err != nil {
 		return nil, err
 	}
-	if err := def.ValidateInstance(inst); err != nil {
-		return nil, err
-	}
+	enumerations.Add(1)
 	ls, err := leaves(def.Root)
 	if err != nil {
 		return nil, err
 	}
-	e := &enum{def: def, inst: inst}
+	e := &enum{def: def}
 	plans, err := e.lower(def.Root, Output, 1)
 	if err != nil {
 		return nil, err
 	}
 
-	leafShapes := make(map[string]Shape, len(ls))
+	leafShapes := make(map[string]SymShape, len(ls))
 	inputs := make([]string, 0, len(ls))
 	var spd []string
 	for _, l := range ls {
-		leafShapes[l.ID] = Shape{Rows: e.dim(l.RowDim), Cols: e.dim(l.ColDim)}
+		leafShapes[l.ID] = SymShape{Rows: l.RowDim, Cols: l.ColDim}
 		inputs = append(inputs, l.ID)
 		if l.Props.Has(SPD) {
 			spd = append(spd, l.ID)
@@ -638,12 +684,12 @@ func Enumerate(def *Def, inst Instance) ([]Algorithm, error) {
 	sort.Strings(inputs)
 	sort.Strings(spd)
 
-	algs := make([]Algorithm, len(plans))
+	algs := make([]SymAlgorithm, len(plans))
 	for i, p := range plans {
 		if p.val.id != Output {
 			return nil, fmt.Errorf("ir: %s derivation %d did not produce %q", def.Name, i+1, Output)
 		}
-		shapes := make(map[string]Shape, len(leafShapes)+len(p.local))
+		shapes := make(map[string]SymShape, len(leafShapes)+len(p.local))
 		for id, sh := range leafShapes {
 			shapes[id] = sh
 		}
@@ -658,7 +704,7 @@ func Enumerate(def *Def, inst Instance) ([]Algorithm, error) {
 		if len(spd) > 0 {
 			spdIn = append([]string(nil), spd...)
 		}
-		algs[i] = Algorithm{
+		algs[i] = SymAlgorithm{
 			Index:     i + 1,
 			Name:      strings.Join(p.steps, "; "),
 			Calls:     p.calls,
@@ -667,11 +713,34 @@ func Enumerate(def *Def, inst Instance) ([]Algorithm, error) {
 			SPDInputs: spdIn,
 			Output:    Output,
 		}
-		if err := algs[i].Validate(); err != nil {
+		if err := algs[i].validate(); err != nil {
 			return nil, fmt.Errorf("ir: %s: %w", def.Name, err)
 		}
 	}
-	return algs, nil
+	return &SymbolicSet{def: def, algs: algs}, nil
+}
+
+// MustEnumerateSymbolic is EnumerateSymbolic panicking on error; the
+// built-in expression builders use it with definitions that are tested
+// to be valid.
+func MustEnumerateSymbolic(def *Def) *SymbolicSet {
+	set, err := EnumerateSymbolic(def)
+	if err != nil {
+		panic(err)
+	}
+	return set
+}
+
+// Enumerate generates the complete algorithm set of the definition for
+// one instance: a symbolic enumeration followed by a bind. Callers that
+// evaluate many instances of one expression should enumerate once with
+// EnumerateSymbolic and bind per instance instead.
+func Enumerate(def *Def, inst Instance) ([]Algorithm, error) {
+	set, err := EnumerateSymbolic(def)
+	if err != nil {
+		return nil, err
+	}
+	return set.Bind(inst)
 }
 
 // MustEnumerate is Enumerate panicking on error; expression builders

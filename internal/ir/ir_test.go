@@ -71,14 +71,17 @@ func TestSymmetricInputProductOffersSymmAndGemm(t *testing.T) {
 	}
 }
 
-func TestTransGramLowersToGemmWithSymmetricResult(t *testing.T) {
-	// Aᵀ·A·B: the kernel set has no transposed SYRK, so the Gram product
-	// lowers to GEMM only — but its result is still known symmetric, so
-	// SYMM applies downstream.
+func TestTransGramLowersToSyrkTAndGemm(t *testing.T) {
+	// Aᵀ·A·B: the transposed-SYRK rewrite widens the fragment so the
+	// Gram product offers SYRK (trans='T', triangular result) before
+	// GEMM, mirroring the A·Aᵀ case — five algorithms, the exact mirror
+	// of the paper's AAᵀB set.
 	a := NewOperand("A", 0, 1)
 	b := NewOperand("B", 1, 2)
 	algs := mustEnum(t, &Def{Name: "atab", Arity: 3, Root: Mul(T(a), a, b)}, Instance{5, 8, 13})
 	wantNames := []string{
+		"M1:=syrk(Aᵀ·A); X:=symm(M1·B)",
+		"M1:=syrk(Aᵀ·A); tri2full(M1); X:=gemm(M1·B)",
 		"M1:=gemm(Aᵀ·A); X:=symm(M1·B)",
 		"M1:=gemm(Aᵀ·A); X:=gemm(M1·B)",
 		"M1:=gemm(A·B); X:=gemm(Aᵀ·M1)",
@@ -91,8 +94,18 @@ func TestTransGramLowersToGemmWithSymmetricResult(t *testing.T) {
 			t.Errorf("algorithm %d: %q, want %q", i+1, algs[i].Name, want)
 		}
 	}
-	if c := algs[0].Calls[0]; !c.TransA || c.TransB || c.M != 8 || c.N != 8 || c.K != 5 {
-		t.Fatalf("AᵀA call %+v", c)
+	// The transposed SYRK reads A (5×8) and writes the 8×8 triangle.
+	if c := algs[0].Calls[0]; c.Kind != kernels.Syrk || !c.TransA || c.M != 8 || c.N != 8 || c.K != 5 {
+		t.Fatalf("syrk-T call %+v", c)
+	}
+	// Its GEMM fallback keeps the transposed-left read.
+	if c := algs[2].Calls[0]; c.Kind != kernels.Gemm || !c.TransA || c.TransB || c.M != 8 || c.N != 8 || c.K != 5 {
+		t.Fatalf("AᵀA gemm call %+v", c)
+	}
+	// SYRK and GEMM variants tie exactly like the paper's AAᵀB pairs do
+	// not: SYRK costs (m+1)·m·k vs GEMM's 2·m·m·k.
+	if algs[0].Flops() >= algs[2].Flops() {
+		t.Fatalf("syrk-T flops %v not below gemm flops %v", algs[0].Flops(), algs[2].Flops())
 	}
 }
 

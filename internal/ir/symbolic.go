@@ -1,0 +1,215 @@
+package ir
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lamb/internal/kernels"
+)
+
+// This file defines the symbolic algorithm representation: the output of
+// the enumerator before any instance is known. Enumeration is purely
+// structural — which rewrites apply, which kernels run, which operands
+// flow where — so it is performed once per expression and the result is
+// reused for every instance. A SymbolicSet holds call skeletons whose
+// dimensions are Dim references and whose FLOP counts are therefore
+// polynomials in the instance dimensions; Bind substitutes a concrete
+// instance in a single cheap pass. The engine (lamb/internal/engine)
+// builds its caching layers on exactly this split.
+
+// NoDim marks a call dimension that is the constant zero rather than a
+// reference into the instance (e.g. the unused K of Tri2Full).
+const NoDim Dim = -1
+
+// bindDim resolves a symbolic dimension against an instance.
+func bindDim(d Dim, inst Instance) int {
+	if d == NoDim {
+		return 0
+	}
+	return inst[d]
+}
+
+// render names the dimension for error messages ("d0", "d1", ...).
+func (d Dim) render() string {
+	if d == NoDim {
+		return "0"
+	}
+	return fmt.Sprintf("d%d", int(d))
+}
+
+// SymShape is a symbolic operand shape: Dim references instead of sizes.
+type SymShape struct {
+	Rows, Cols Dim
+}
+
+// Bind resolves the shape against an instance.
+func (s SymShape) Bind(inst Instance) Shape {
+	return Shape{Rows: bindDim(s.Rows, inst), Cols: bindDim(s.Cols, inst)}
+}
+
+// SymCall is a call skeleton: a kernels.Call whose dimensions are still
+// symbolic. Binding an instance yields exactly the Call the concrete
+// enumerator used to build directly.
+type SymCall struct {
+	Kind           kernels.Kind
+	M, N, K        Dim
+	TransA, TransB bool
+	In             []string
+	Out            string
+}
+
+// Bind substitutes the instance dimensions, producing a concrete call.
+// The operand ID slice is copied so bound algorithms never alias the
+// shared symbolic set.
+func (c SymCall) Bind(inst Instance) kernels.Call {
+	return kernels.Call{
+		Kind:   c.Kind,
+		M:      bindDim(c.M, inst),
+		N:      bindDim(c.N, inst),
+		K:      bindDim(c.K, inst),
+		TransA: c.TransA,
+		TransB: c.TransB,
+		In:     append([]string(nil), c.In...),
+		Out:    c.Out,
+	}
+}
+
+// Flops evaluates the call's FLOP polynomial at the instance without
+// materialising the bound call's operand slices.
+func (c SymCall) Flops(inst Instance) float64 {
+	bound := kernels.Call{
+		Kind: c.Kind,
+		M:    bindDim(c.M, inst),
+		N:    bindDim(c.N, inst),
+		K:    bindDim(c.K, inst),
+	}
+	return bound.Flops()
+}
+
+// SymAlgorithm is one symbolic derivation: the instance-independent part
+// of an Algorithm. Index, Name, operand naming, and call structure are
+// fixed at enumeration time; only the dimensions await binding.
+type SymAlgorithm struct {
+	Index     int
+	Name      string
+	Calls     []SymCall
+	Shapes    map[string]SymShape
+	Inputs    []string
+	SPDInputs []string
+	Output    string
+}
+
+// Bind resolves the algorithm against an instance. All slices and maps
+// are freshly allocated: bound algorithms from the same symbolic set
+// share nothing mutable.
+func (a *SymAlgorithm) Bind(inst Instance) Algorithm {
+	calls := make([]kernels.Call, len(a.Calls))
+	for i, c := range a.Calls {
+		calls[i] = c.Bind(inst)
+	}
+	shapes := make(map[string]Shape, len(a.Shapes))
+	for id, sh := range a.Shapes {
+		shapes[id] = sh.Bind(inst)
+	}
+	var spd []string
+	if len(a.SPDInputs) > 0 {
+		spd = append([]string(nil), a.SPDInputs...)
+	}
+	return Algorithm{
+		Index:     a.Index,
+		Name:      a.Name,
+		Calls:     calls,
+		Shapes:    shapes,
+		Inputs:    append([]string(nil), a.Inputs...),
+		SPDInputs: spd,
+		Output:    a.Output,
+	}
+}
+
+// Flops evaluates the algorithm's total FLOP polynomial at the instance.
+func (a *SymAlgorithm) Flops(inst Instance) float64 {
+	var s float64
+	for _, c := range a.Calls {
+		s += c.Flops(inst)
+	}
+	return s
+}
+
+// validate checks the symbolic algorithm's internal consistency: every
+// operand mentioned has a shape and every call writes its output at the
+// output's symbolic shape. Because instance dimensions are always
+// positive, symbolic consistency implies Algorithm.Validate passes for
+// every well-formed instance — which is what lets Bind skip per-instance
+// validation.
+func (a *SymAlgorithm) validate() error {
+	if len(a.Calls) == 0 {
+		return fmt.Errorf("ir: algorithm %q has no calls", a.Name)
+	}
+	for i, c := range a.Calls {
+		ids := append([]string{c.Out}, c.In...)
+		for _, id := range ids {
+			if _, ok := a.Shapes[id]; !ok {
+				return fmt.Errorf("ir: algorithm %q call %d references unknown operand %q", a.Name, i, id)
+			}
+		}
+		out := a.Shapes[c.Out]
+		if out.Rows != c.M || out.Cols != c.N {
+			return fmt.Errorf("ir: algorithm %q call %d output %q is %sx%s, call writes %sx%s",
+				a.Name, i, c.Out, out.Rows.render(), out.Cols.render(), c.M.render(), c.N.render())
+		}
+	}
+	if _, ok := a.Shapes[a.Output]; !ok {
+		return fmt.Errorf("ir: algorithm %q output %q has no shape", a.Name, a.Output)
+	}
+	return nil
+}
+
+// SymbolicSet is the complete enumerated algorithm set of a definition,
+// independent of any instance. It is immutable after construction and
+// safe for concurrent Bind calls.
+type SymbolicSet struct {
+	def  *Def
+	algs []SymAlgorithm
+}
+
+// Def returns the definition the set was enumerated from.
+func (s *SymbolicSet) Def() *Def { return s.def }
+
+// Len returns the number of algorithms in the set.
+func (s *SymbolicSet) Len() int { return len(s.algs) }
+
+// At returns the i-th symbolic algorithm (0-based slice order; its Index
+// field carries the paper's 1-based numbering).
+func (s *SymbolicSet) At(i int) *SymAlgorithm { return &s.algs[i] }
+
+// Bind resolves the whole set against an instance, validating the
+// instance first. The returned slice and everything it references are
+// freshly allocated.
+func (s *SymbolicSet) Bind(inst Instance) ([]Algorithm, error) {
+	if err := s.def.ValidateInstance(inst); err != nil {
+		return nil, err
+	}
+	out := make([]Algorithm, len(s.algs))
+	for i := range s.algs {
+		out[i] = s.algs[i].Bind(inst)
+	}
+	return out, nil
+}
+
+// MustBind is Bind panicking on error; callers that validated the
+// instance themselves use it.
+func (s *SymbolicSet) MustBind(inst Instance) []Algorithm {
+	algs, err := s.Bind(inst)
+	if err != nil {
+		panic(err)
+	}
+	return algs
+}
+
+// enumerations counts EnumerateSymbolic runs process-wide. Cache tests
+// use it to assert that repeated queries do not re-enumerate.
+var enumerations atomic.Uint64
+
+// Enumerations returns the number of symbolic enumerations performed by
+// this process so far.
+func Enumerations() uint64 { return enumerations.Load() }

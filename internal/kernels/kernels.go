@@ -18,8 +18,9 @@ type Kind int
 const (
 	// Gemm computes C := A·B with A (M×K) and B (K×N), costing 2MNK FLOPs.
 	Gemm Kind = iota
-	// Syrk computes one triangle of C := A·Aᵀ with A (M×K), costing
-	// (M+1)·M·K FLOPs.
+	// Syrk computes one triangle of C := A·Aᵀ with A (M×K) — or of
+	// C := Aᵀ·A with A (K×M) when TransA is set — costing (M+1)·M·K
+	// FLOPs either way.
 	Syrk
 	// Symm computes C := A·B with A (M×M) symmetric and B (M×N), costing
 	// 2M²N FLOPs.
@@ -76,6 +77,7 @@ func (k Kind) String() string {
 //
 //	Gemm:     C (M×N) := op(A) (M×K) · op(B) (K×N)
 //	Syrk:     C (M×M) := A·Aᵀ with A (M×K); K is the inner dimension; N=M
+//	          (TransA: C := Aᵀ·A with A (K×M))
 //	Symm:     C (M×N) := A·B with A (M×M) symmetric; K=M
 //	Tri2Full: C (M×M) triangle mirror; N=M, K=0
 type Call struct {
@@ -104,6 +106,13 @@ func NewGemm(m, n, k int, a, b, c string, transA, transB bool) Call {
 // triangle of the m×m result.
 func NewSyrk(m, k int, a, c string) Call {
 	return Call{Kind: Syrk, M: m, N: m, K: k, In: []string{a}, Out: c}
+}
+
+// NewSyrkT returns the transposed SYRK call C := Aᵀ·A with A k×m (BLAS
+// dsyrk with trans='T'), producing one triangle of the m×m result. Same
+// FLOP count as NewSyrk; TransA records the transposed read.
+func NewSyrkT(m, k int, a, c string) Call {
+	return Call{Kind: Syrk, M: m, N: m, K: k, TransA: true, In: []string{a}, Out: c}
 }
 
 // NewSymm returns a SYMM call C := A·B with A m×m symmetric, B m×n.
@@ -289,8 +298,12 @@ func (c Call) Operands() []OperandSpec {
 			{ID: c.Out, Rows: c.M, Cols: c.N, Fill: FillRandom, Written: true},
 		}
 	case Syrk:
+		ar, ac := c.M, c.K
+		if c.TransA {
+			ar, ac = c.K, c.M
+		}
 		return []OperandSpec{
-			{ID: c.In[0], Rows: c.M, Cols: c.K, Fill: FillRandom},
+			{ID: c.In[0], Rows: ar, Cols: ac, Fill: FillRandom},
 			{ID: c.Out, Rows: c.M, Cols: c.M, Fill: FillRandom, Written: true},
 		}
 	case Symm:

@@ -135,6 +135,12 @@ func NewChain(terms int) Chain { return Chain{Terms: terms} }
 // (Figure 5).
 func AATB() expr.AATB { return expr.NewAATB() }
 
+// ATAB returns the transposed-Gram expression X := Aᵀ·A·B, the mirror
+// of AAᵀB enabled by the transposed-SYRK rewrite (Aᵀ·A → dsyrk
+// trans='T'); its five generated algorithms mirror the paper's Figure 5
+// in the normal-equations orientation.
+func ATAB() expr.ATAB { return expr.NewATAB() }
+
 // LstSq returns the regularised least-squares expression
 // X := (A·Aᵀ + R)⁻¹·A·B with its four algorithms over six kernel kinds
 // (SYRK/GEMM Gram variants × RHS-ordering variants, with a triangular
@@ -159,7 +165,7 @@ func GLS() expr.GLS { return expr.NewGLS() }
 func Expressions() []string { return expr.Names() }
 
 // LookupExpression returns the built-in expression registered under
-// name (case-insensitive): chain, aatb, lstsq, aatbc, or gls.
+// name (case-insensitive): chain, aatb, atab, lstsq, aatbc, or gls.
 func LookupExpression(name string) (Expression, error) { return expr.Lookup(name) }
 
 // Expression IR: the builder API for defining new expressions. A tree

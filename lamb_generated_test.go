@@ -14,7 +14,7 @@ import (
 // on the real BLAS, and the public IR builder API.
 
 func generatedExpressions() []lamb.Expression {
-	return []lamb.Expression{lamb.AATBC(), lamb.GLS()}
+	return []lamb.Expression{lamb.AATBC(), lamb.GLS(), lamb.ATAB()}
 }
 
 func TestGeneratedExpressionsExperimentPipeline(t *testing.T) {
@@ -124,6 +124,12 @@ func TestGeneratedAlgorithmsAgreeNumerically(t *testing.T) {
 			"C": lamb.NewRandomMatrix(7, 6, 6),
 			"R": spdMatrix(10, 7),
 		}},
+		// ATAB: all five algorithms — transposed SYRK, its Tri2Full+GEMM
+		// variant, the GEMM Gram, and the chain order — agree.
+		{lamb.ATAB(), lamb.Instance{13, 9, 8}, map[string]*lamb.Matrix{
+			"A": lamb.NewRandomMatrix(13, 9, 11),
+			"B": lamb.NewRandomMatrix(9, 8, 12),
+		}},
 	}
 	for _, c := range cases {
 		algs := c.expr.Algorithms(c.inst)
@@ -201,7 +207,7 @@ func TestPublicBuilderAPISolveAndSum(t *testing.T) {
 
 func TestPublicRegistry(t *testing.T) {
 	names := lamb.Expressions()
-	if len(names) != 5 {
+	if len(names) != 6 {
 		t.Fatalf("registry %v", names)
 	}
 	for _, n := range names {
