@@ -15,8 +15,13 @@
 //	exp3       prediction from benchmarks (Tables 1 and 2)
 //	select     algorithm-selection strategies (paper §5 conjecture);
 //	           -instance queries the engine for one instance, -json
-//	           emits the machine-readable selection record
-//	serve      HTTP JSON selection endpoint over the cached query engine
+//	           emits the machine-readable selection record, -profile
+//	           loads a persisted profile store instead of re-measuring
+//	profile    measure the kernel grid once and write a schema-versioned
+//	           PROFILE.json that serve/select load with -profile
+//	serve      HTTP JSON selection endpoint over the cached query engine;
+//	           -profile enables min-predicted and adaptive strategies,
+//	           POST /api/feedback records measured outcomes
 //	bench      kernel benchmark grid (BENCH_<n>.json with -json; whole-
 //	           algorithm timings with -algs; diff two reports with
 //	           -compare OLD.json NEW.json)
@@ -47,6 +52,7 @@ import (
 
 	"lamb"
 	"lamb/internal/engine"
+	"lamb/internal/profile"
 	"lamb/internal/report"
 )
 
@@ -70,6 +76,8 @@ func main() {
 		err = cmdExp3(args)
 	case "select":
 		err = cmdSelect(args)
+	case "profile":
+		err = cmdProfile(args)
 	case "serve":
 		err = cmdServe(args)
 	case "bench":
@@ -99,8 +107,12 @@ subcommands:
   exp2       regions around anomalies (Figures 7, 8, 10, 11)
   exp3       prediction from benchmarks (Tables 1, 2)
   select     algorithm-selection strategies; -instance picks one
-             algorithm through the engine (-json for the record)
+             algorithm through the engine (-json for the record,
+             -profile loads a persisted profile store)
+  profile    measure the kernel grid once, write PROFILE.json
   serve      HTTP JSON selection endpoint over the query engine
+             (-profile serves min-predicted/adaptive, /api/feedback
+             records outcomes)
   bench      kernel benchmark grid (writes BENCH_<n>.json with -json;
              -algs times whole algorithms; -compare OLD NEW diffs reports)
   all        full paper pipeline
@@ -162,16 +174,52 @@ func (c *commonFlags) timer() (*lamb.Timer, error) {
 // engine, so enumeration, binding, and plan compilation are cached in
 // one place. Non-positive capacities fall back to the engine defaults.
 func (c *commonFlags) engine(bindEntries, planEntries int) (*engine.Engine, error) {
+	return c.engineWithProfiles(bindEntries, planEntries, "")
+}
+
+// engineWithProfiles is engine plus a persisted profile store: when
+// profilePath is non-empty the store is loaded and the engine serves
+// the profile-backed strategies (min-predicted, adaptive) without any
+// serve-time measurement, carrying the store's provenance into stats
+// and records.
+func (c *commonFlags) engineWithProfiles(bindEntries, planEntries int, profilePath string) (*engine.Engine, error) {
 	e, err := c.executor()
 	if err != nil {
 		return nil, err
 	}
-	return engine.New(engine.Config{
+	cfg := engine.Config{
 		Executor:    e,
 		Reps:        c.reps,
 		BindEntries: bindEntries,
 		PlanEntries: planEntries,
-	}), nil
+	}
+	if profilePath != "" {
+		set, meta, err := loadProfileStore(profilePath, e.Name())
+		if err != nil {
+			return nil, err
+		}
+		cfg.Profiles = set
+		cfg.ProfileMeta = meta
+	}
+	return engine.New(cfg), nil
+}
+
+// loadProfileStore loads a persisted profile store for prediction on
+// the named backend. A store measured on one backend predicts garbage
+// for another (simulated rates say nothing about the measured BLAS),
+// so a mismatch warns — rather than refuses: loading a profile from
+// another machine of the same backend family is a deliberate
+// cross-machine study. Shared by serve and both select modes.
+func loadProfileStore(path, backendName string) (*profile.Set, profile.Meta, error) {
+	set, meta, err := profile.ReadFile(path)
+	if err != nil {
+		return nil, profile.Meta{}, err
+	}
+	if meta.Backend != "" && meta.Backend != backendName {
+		fmt.Fprintf(os.Stderr, "lamb: warning: profile store %s was measured on backend %q but predicting for %q — predictions may not transfer\n",
+			path, meta.Backend, backendName)
+	}
+	return set, meta, nil
 }
 
 // box returns the search space: the paper's box on the sim backend, a

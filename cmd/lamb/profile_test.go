@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"lamb"
+	"lamb/internal/engine"
+	"lamb/internal/profile"
+)
+
+func TestCmdProfileWritesLoadableStore(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "p.json")
+	old := stdoutCapture(t)
+	err := cmdProfile([]string{"-backend", "sim", "-reps", "2", "-grid", "2", "-o", out})
+	old()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, meta, err := profile.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Backend == "" || meta.GridPoints != 2 || meta.Reps != 2 || meta.CreatedAt == "" {
+		t.Fatalf("meta %+v", meta)
+	}
+	if meta.Source != out {
+		t.Fatalf("source %q", meta.Source)
+	}
+	for kind := lamb.KernelKind(0); int(kind) < lamb.NumKernelKinds; kind++ {
+		if set.Profile(kind) == nil {
+			t.Fatalf("missing %v profile", kind)
+		}
+	}
+}
+
+func TestCmdProfileRejectsDegenerateGrid(t *testing.T) {
+	for _, grid := range []string{"1", "0", "-3"} {
+		if err := cmdProfile([]string{"-backend", "sim", "-grid", grid, "-o", filepath.Join(t.TempDir(), "p.json")}); err == nil {
+			t.Errorf("-grid %s accepted", grid)
+		}
+	}
+}
+
+func TestCmdSelectWithProfileStore(t *testing.T) {
+	// select -profile answers min-predicted from the persisted store
+	// (no measurement) and stamps the record with its provenance.
+	out := filepath.Join(t.TempDir(), "p.json")
+	old := stdoutCapture(t)
+	if err := cmdProfile([]string{"-backend", "sim", "-reps", "2", "-grid", "2", "-o", out}); err != nil {
+		old()
+		t.Fatal(err)
+	}
+	old()
+	old = stdoutCapture(t)
+	err := cmdSelect([]string{"-expr", "aatb", "-instance", "80,514,768",
+		"-strategy", "min-predicted", "-profile", out, "-json"})
+	body := old()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec engine.Record
+	if jerr := json.Unmarshal(body, &rec); jerr != nil {
+		t.Fatalf("%v in %q", jerr, body)
+	}
+	if rec.Strategy != "min-predicted" || rec.Profile != out {
+		t.Fatalf("record strategy %q profile %q, want min-predicted %q", rec.Strategy, rec.Profile, out)
+	}
+}
+
+func TestCmdSelectProfileStoreMissing(t *testing.T) {
+	err := cmdSelect([]string{"-expr", "aatb", "-instance", "80,514,768",
+		"-strategy", "min-predicted", "-profile", filepath.Join(t.TempDir(), "nope.json"), "-json"})
+	if err == nil {
+		t.Fatal("missing profile store accepted")
+	}
+}

@@ -27,36 +27,46 @@ func cmdSelect(args []string) error {
 	instances := fs.Int("instances", 150, "number of random instances (evaluation mode)")
 	gridPoints := fs.Int("grid", 8, "profile grid points per dimension")
 	instFlag := fs.String("instance", "", "query one instance, e.g. 100,200,300 (query mode)")
-	strategy := fs.String("strategy", engine.DefaultStrategy, "query-mode strategy: min-flops, min-predicted, or oracle")
+	strategy := fs.String("strategy", engine.DefaultStrategy, "query-mode strategy: min-flops, min-predicted, adaptive, or oracle")
+	profilePath := fs.String("profile", "", "persisted kernel-profile store (skips profile measurement)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable selection record (query mode)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *instFlag != "" {
-		return selectQuery(c, *instFlag, *strategy, *gridPoints, *jsonOut)
+		return selectQuery(c, *instFlag, *strategy, *profilePath, *gridPoints, *jsonOut)
 	}
 	if *jsonOut {
 		return fmt.Errorf("-json requires -instance (the record describes one query)")
 	}
-	return selectEvaluate(c, *instances, *gridPoints)
+	return selectEvaluate(c, *instances, *gridPoints, *profilePath)
 }
 
-// selectQuery answers one instance query through the engine. The
-// executor is built once: profile measurement (min-predicted) runs on
-// the same backend the engine then serves from.
-func selectQuery(c *commonFlags, instFlag, strategy string, gridPoints int, jsonOut bool) error {
+// selectQuery answers one instance query through the engine. Profiles
+// come from a persisted store when -profile is given; otherwise the
+// profile-backed strategies measure once on the same backend the engine
+// then serves from.
+func selectQuery(c *commonFlags, instFlag, strategy, profilePath string, gridPoints int, jsonOut bool) error {
 	ex, err := c.executor()
 	if err != nil {
 		return err
 	}
 	var profiles *lamb.ProfileSet
-	if strategy == "min-predicted" {
+	var meta lamb.ProfileMeta
+	switch {
+	case profilePath != "":
+		profiles, meta, err = loadProfileStore(profilePath, ex.Name())
+		if err != nil {
+			return err
+		}
+	case strategy == "min-predicted" || strategy == "adaptive":
 		fmt.Fprintf(os.Stderr, "measuring kernel profiles (%d^3 grid per kernel)...\n", gridPoints)
 		t := lamb.NewTimer(ex)
 		t.Reps = c.reps
 		profiles = lamb.MeasureProfiles(t, gridPoints)
+		meta = measuredMeta(ex, c.reps, gridPoints)
 	}
-	eng := engine.New(engine.Config{Executor: ex, Reps: c.reps, Profiles: profiles})
+	eng := engine.New(engine.Config{Executor: ex, Reps: c.reps, Profiles: profiles, ProfileMeta: meta})
 	x, err := eng.Expression(c.exprName)
 	if err != nil {
 		return err
@@ -92,13 +102,21 @@ func selectQuery(c *commonFlags, instFlag, strategy string, gridPoints int, json
 // selectEvaluate runs the strategy-regret study through the engine's
 // expression and timer (so repeated instances bind once and, on the
 // measured backend, plans are cached across strategies).
-func selectEvaluate(c *commonFlags, instances, gridPoints int) error {
+func selectEvaluate(c *commonFlags, instances, gridPoints int, profilePath string) error {
 	p, err := newPipeline(c)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "measuring kernel profiles (%d^3 grid per kernel)...\n", gridPoints)
-	profiles := lamb.MeasureProfiles(p.timer, gridPoints)
+	var profiles *lamb.ProfileSet
+	if profilePath != "" {
+		profiles, _, err = loadProfileStore(profilePath, p.timer.Exec.Name())
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "measuring kernel profiles (%d^3 grid per kernel)...\n", gridPoints)
+		profiles = lamb.MeasureProfiles(p.timer, gridPoints)
+	}
 	strategies := []lamb.Strategy{
 		lamb.MinFlops{},
 		lamb.MinPredicted{Profiles: profiles},

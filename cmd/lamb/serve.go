@@ -24,21 +24,31 @@ import (
 //
 //	GET  /healthz          liveness probe
 //	GET  /api/expressions  queryable expressions (name, arity, set size)
-//	GET  /api/stats        per-layer cache counters
+//	GET  /api/stats        per-layer cache counters, feedback/adaptive
+//	                       counters, and profile provenance
 //	POST /api/query        one engine.Query -> one selection record
 //	POST /api/batch        {"queries": [...]} -> {"results": [...]}
+//	POST /api/feedback     one engine.Feedback measured outcome
+//
+// With -profile FILE the persisted kernel-profile store is loaded at
+// startup, so min-predicted and adaptive queries are answered without
+// any serve-time measurement.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	c := registerCommon(fs)
 	addr := fs.String("addr", "127.0.0.1:8374", "listen address")
 	bindEntries := fs.Int("bind-cache", engine.DefaultBindEntries, "binding-layer LRU entries")
 	planEntries := fs.Int("plan-cache", engine.DefaultPlanEntries, "compiled-plan LRU entries (blas backend)")
+	profilePath := fs.String("profile", "", "persisted kernel-profile store (enables min-predicted and adaptive)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	eng, err := c.engine(*bindEntries, *planEntries)
+	eng, err := c.engineWithProfiles(*bindEntries, *planEntries, *profilePath)
 	if err != nil {
 		return err
+	}
+	if *profilePath != "" {
+		fmt.Fprintf(os.Stderr, "lamb serve: loaded profile store %s\n", *profilePath)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
@@ -112,6 +122,17 @@ func serveMux(eng *engine.Engine) *http.ServeMux {
 			return
 		}
 		writeJSON(w, http.StatusOK, rec)
+	})
+	mux.HandleFunc("POST /api/feedback", func(w http.ResponseWriter, r *http.Request) {
+		var fb engine.Feedback
+		if err := decodeJSON(w, r, &fb); err != nil {
+			return
+		}
+		if err := eng.Feedback(fb); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	mux.HandleFunc("POST /api/batch", func(w http.ResponseWriter, r *http.Request) {
 		var req batchRequest

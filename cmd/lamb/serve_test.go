@@ -7,11 +7,15 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
 
+	"lamb"
 	"lamb/internal/engine"
+	"lamb/internal/exec"
+	"lamb/internal/profile"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
@@ -206,6 +210,115 @@ func TestServeMethodNotAllowed(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /api/query status %d", resp.StatusCode)
+	}
+}
+
+// newProfiledTestServer serves an engine with measured sim-backend
+// profiles, as `lamb serve -profile` does after loading a store.
+func newProfiledTestServer(t *testing.T) (*httptest.Server, *engine.Engine) {
+	t.Helper()
+	timer := exec.NewTimer(exec.NewDefaultSimulated())
+	timer.Reps = 2
+	eng := engine.New(engine.Config{
+		Profiles:    profile.MeasureSet(timer, 2),
+		ProfileMeta: profile.Meta{Source: "test-profile.json"},
+	})
+	srv := httptest.NewServer(serveMux(eng))
+	t.Cleanup(srv.Close)
+	return srv, eng
+}
+
+// TestServeFeedbackLoop drives the serving-time learner end to end over
+// HTTP: adaptive query, contradicting feedback, switched selection,
+// moving counters — what the CI serve smoke asserts with curl and jq.
+func TestServeFeedbackLoop(t *testing.T) {
+	srv, _ := newProfiledTestServer(t)
+	q := engine.Query{Expr: "aatb", Instance: []int{80, 514, 768}, Strategy: "adaptive"}
+	resp, body := postJSON(t, srv.URL+"/api/query", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adaptive query status %d: %s", resp.StatusCode, body)
+	}
+	var first engine.Record
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Profile != "test-profile.json" {
+		t.Fatalf("record profile %q", first.Profile)
+	}
+	for alg := 1; alg <= first.NumAlgorithms; alg++ {
+		sec := 1e-6
+		if alg == first.Selected.Index {
+			sec = 10.0
+		}
+		for rep := 0; rep < 3; rep++ {
+			resp, out := postJSON(t, srv.URL+"/api/feedback", engine.Feedback{
+				Expr: "aatb", Instance: []int{80, 514, 768}, Algorithm: alg, Seconds: sec,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("feedback status %d: %s", resp.StatusCode, out)
+			}
+		}
+	}
+	resp, body = postJSON(t, srv.URL+"/api/query", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-query status %d", resp.StatusCode)
+	}
+	var second engine.Record
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Selected.Index == first.Selected.Index {
+		t.Fatalf("served adaptive selection did not move off algorithm %d", first.Selected.Index)
+	}
+	resp, err := http.Get(srv.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s engine.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if s.Feedback != uint64(3*first.NumAlgorithms) || s.FeedbackInstances != 1 {
+		t.Fatalf("feedback counters %+v", s)
+	}
+	if s.AdaptiveQueries != 2 || s.AdaptiveInformed != 1 {
+		t.Fatalf("adaptive counters %+v", s)
+	}
+	if s.Profile == nil || s.Profile.ID != "test-profile.json" {
+		t.Fatalf("stats profile %+v", s.Profile)
+	}
+}
+
+func TestServeFeedbackErrors(t *testing.T) {
+	srv, _ := newProfiledTestServer(t)
+	for name, body := range map[string]any{
+		"unknown expression": engine.Feedback{Expr: "nope", Instance: []int{1, 2, 3}, Algorithm: 1, Seconds: 1},
+		"bad index":          engine.Feedback{Expr: "aatb", Instance: []int{80, 514, 768}, Algorithm: 99, Seconds: 1},
+		"bad seconds":        engine.Feedback{Expr: "aatb", Instance: []int{80, 514, 768}, Algorithm: 1, Seconds: -1},
+		"unknown field":      map[string]any{"exprs": "aatb"},
+	} {
+		resp, out := postJSON(t, srv.URL+"/api/feedback", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s)", name, resp.StatusCode, out)
+		}
+	}
+}
+
+// TestServeProfileFixtureLoads pins the committed CI fixture: the store
+// the serve smoke starts from must stay loadable and complete.
+func TestServeProfileFixtureLoads(t *testing.T) {
+	set, meta, err := profile.ReadFile(filepath.Join("..", "..", "testdata", "profile-ci.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Backend == "" || meta.GridPoints < 2 {
+		t.Fatalf("fixture meta %+v", meta)
+	}
+	for kind := lamb.KernelKind(0); int(kind) < lamb.NumKernelKinds; kind++ {
+		if set.Profile(kind) == nil {
+			t.Fatalf("fixture missing %v profile", kind)
+		}
 	}
 }
 

@@ -49,6 +49,14 @@ const (
 	DefaultBindEntries     = 512
 	DefaultPlanEntries     = 32
 	DefaultCallPlanEntries = 32
+	// DefaultFeedbackEntries bounds the feedback outcome store: distinct
+	// (expression, instance) records kept for the adaptive strategy.
+	// Records are small (an instance, its log coordinates, a few
+	// per-algorithm running means), so the store can hold many instance
+	// regions, but unlike an LRU cache an unbounded store would grow
+	// with abusive feedback traffic — and its nearest-neighbour scan is
+	// linear in the record count.
+	DefaultFeedbackEntries = 4096
 )
 
 // DefaultStrategy is the strategy used when a query names none: the
@@ -72,10 +80,23 @@ type Config struct {
 	// CallPlanEntries bounds the compiled single-call plan LRU
 	// (default 32).
 	CallPlanEntries int
-	// Profiles, if set, enables the "min-predicted" strategy (FLOPs
-	// combined with kernel performance profiles — the paper's proposed
-	// discriminant).
+	// Profiles, if set, enables the profile-backed strategies:
+	// "min-predicted" (FLOPs combined with kernel performance profiles —
+	// the paper's proposed discriminant) and "adaptive" (that prediction
+	// refined online by measured outcomes fed back through Feedback).
 	Profiles *profile.Set
+	// ProfileMeta is the provenance of Profiles (typically the Meta
+	// loaded alongside a persisted store); surfaced in Stats and in the
+	// records of profile-backed queries.
+	ProfileMeta profile.Meta
+	// AdaptiveRadius is the log-shape distance within which recorded
+	// outcomes inform an adaptive choice (default
+	// selection.DefaultAdaptiveRadius).
+	AdaptiveRadius float64
+	// FeedbackEntries bounds the feedback outcome store (default 4096
+	// distinct (expression, instance) records, least-recently-touched
+	// evicted).
+	FeedbackEntries int
 }
 
 // Query is one selection request.
@@ -112,6 +133,9 @@ type Record struct {
 	Selected Candidate `json:"selected"`
 	// NumAlgorithms is the size of the enumerated set.
 	NumAlgorithms int `json:"num_algorithms"`
+	// Profile is the provenance tag of the profile store the answer
+	// derives from (profile-backed strategies only).
+	Profile string `json:"profile,omitempty"`
 	// Candidates lists the whole set in enumeration order.
 	Candidates []Candidate `json:"candidates"`
 }
@@ -138,6 +162,19 @@ type Stats struct {
 	// in-flight identical query (singleflight hits).
 	Queries uint64 `json:"queries"`
 	Deduped uint64 `json:"deduped"`
+	// Feedback counts outcomes recorded through Engine.Feedback;
+	// FeedbackInstances is the number of distinct (expression, instance)
+	// points those outcomes cover.
+	Feedback          uint64 `json:"feedback"`
+	FeedbackInstances int    `json:"feedback_instances"`
+	// AdaptiveQueries counts queries answered by the adaptive strategy;
+	// AdaptiveInformed counts those for which recorded outcomes within
+	// the neighbourhood radius actually informed the choice.
+	AdaptiveQueries  uint64 `json:"adaptive_queries"`
+	AdaptiveInformed uint64 `json:"adaptive_informed"`
+	// Profile is the provenance of the loaded profile store (nil when
+	// the engine serves without profiles).
+	Profile *ProfileInfo `json:"profile,omitempty"`
 	// Enumerations is the process-wide count of symbolic enumerations
 	// (ir.Enumerations): flat across repeated queries.
 	Enumerations uint64 `json:"enumerations"`
@@ -145,11 +182,26 @@ type Stats struct {
 	Backend string `json:"backend"`
 }
 
+// ProfileInfo is the provenance block Stats carries for a loaded
+// profile store.
+type ProfileInfo struct {
+	// ID is the short provenance tag (profile.Meta.ID) query records
+	// reference.
+	ID string `json:"id"`
+	profile.Meta
+}
+
 // strategyEntry pairs a strategy with whether choosing executes
-// algorithms (and must therefore be serialised on the execution lock).
+// algorithms (and must therefore be serialised on the execution lock),
+// and whether its answers derive from the loaded profile store (so the
+// record carries the profile's provenance). Per-query strategies
+// (adaptive, which must know the expression to look outcomes up) supply
+// perQuery instead of s.
 type strategyEntry struct {
-	s     selection.Strategy
-	timed bool
+	s        selection.Strategy
+	perQuery func(exprName string) selection.Strategy
+	timed    bool
+	profiled bool
 }
 
 // flight is one in-flight query the singleflight layer deduplicates
@@ -185,6 +237,17 @@ type Engine struct {
 
 	queries atomic.Uint64
 	deduped atomic.Uint64
+
+	// The feedback path: measured outcomes recorded per (expression,
+	// instance), searched by log-shape distance for adaptive queries.
+	outcomes         *outcomeStore
+	feedback         atomic.Uint64
+	adaptiveQueries  atomic.Uint64
+	adaptiveInformed atomic.Uint64
+
+	// profInfo is the loaded profile store's provenance (nil without
+	// profiles).
+	profInfo *ProfileInfo
 }
 
 // bindKey identifies a bound algorithm set: canonical expression name
@@ -208,11 +271,16 @@ func New(cfg Config) *Engine {
 	if bindEntries <= 0 {
 		bindEntries = DefaultBindEntries
 	}
+	feedbackEntries := cfg.FeedbackEntries
+	if feedbackEntries <= 0 {
+		feedbackEntries = DefaultFeedbackEntries
+	}
 	e := &Engine{
 		timer:    timer,
 		exprs:    make(map[string]expr.Expression),
 		bind:     cache.NewLRU[bindKey, []expr.Algorithm](bindEntries),
 		inflight: make(map[string]*flight),
+		outcomes: newOutcomeStore(feedbackEntries),
 	}
 	if m, ok := ex.(*exec.Measured); ok {
 		if cfg.PlanEntries <= 0 && cfg.CallPlanEntries <= 0 && m.Plans != nil {
@@ -239,7 +307,32 @@ func New(cfg Config) *Engine {
 		"oracle":    {s: selection.Oracle{Timer: timer}, timed: true},
 	}
 	if cfg.Profiles != nil {
-		e.strategies["min-predicted"] = strategyEntry{s: selection.MinPredicted{Profiles: cfg.Profiles}}
+		info := &ProfileInfo{Meta: cfg.ProfileMeta}
+		info.ID = cfg.ProfileMeta.ID()
+		e.profInfo = info
+		predicted := selection.MinPredicted{Profiles: cfg.Profiles}
+		e.strategies["min-predicted"] = strategyEntry{s: predicted, profiled: true}
+		radius := cfg.AdaptiveRadius
+		if radius <= 0 {
+			radius = selection.DefaultAdaptiveRadius
+		}
+		// Adaptive is built per query: the outcome lookup needs the
+		// resolved expression name, and counting informed choices at the
+		// point of observation keeps the stats honest under concurrency.
+		e.strategies["adaptive"] = strategyEntry{profiled: true, perQuery: func(exprName string) selection.Strategy {
+			e.adaptiveQueries.Add(1)
+			return selection.Adaptive{
+				Prior:  predicted,
+				Radius: radius,
+				Observe: func(inst expr.Instance) []selection.Observation {
+					obs := e.outcomes.near(exprName, inst, radius)
+					if len(obs) > 0 {
+						e.adaptiveInformed.Add(1)
+					}
+					return obs
+				},
+			}
+		}}
 	}
 	return e
 }
@@ -412,23 +505,37 @@ func (e *Engine) answer(q Query, strat string) (rec *Record, err error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: unknown strategy %q (registered: %s)", strat, strings.Join(e.Strategies(), ", "))
 	}
-	algs, err := e.Algorithms(q.Expr, q.Instance)
+	x, err := e.lookup(q.Expr, true)
 	if err != nil {
 		return nil, err
+	}
+	algs, err := e.algorithmsFor(x, q.Instance)
+	if err != nil {
+		return nil, err
+	}
+	s := entry.s
+	if entry.perQuery != nil {
+		s = entry.perQuery(x.Name())
+	}
+	choose := func() int {
+		if is, ok := s.(selection.InstanceStrategy); ok {
+			return is.ChooseFor(q.Instance, algs)
+		}
+		return s.Choose(algs)
 	}
 	var pick int
 	if entry.timed {
 		e.execMu.Lock()
-		pick = entry.s.Choose(algs)
+		pick = choose()
 		e.execMu.Unlock()
 	} else {
-		pick = entry.s.Choose(algs)
+		pick = choose()
 	}
 	cands := make([]Candidate, len(algs))
 	for i := range algs {
 		cands[i] = Candidate{Index: algs[i].Index, Name: algs[i].Name, Flops: algs[i].Flops()}
 	}
-	return &Record{
+	rec = &Record{
 		Expr:          strings.ToLower(q.Expr),
 		Instance:      q.Instance.Clone(),
 		Strategy:      strat,
@@ -436,7 +543,11 @@ func (e *Engine) answer(q Query, strat string) (rec *Record, err error) {
 		Selected:      cands[pick],
 		NumAlgorithms: len(algs),
 		Candidates:    cands,
-	}, nil
+	}
+	if entry.profiled && e.profInfo != nil {
+		rec.Profile = e.profInfo.ID
+	}
+	return rec, nil
 }
 
 // batchWorkers bounds QueryBatch's concurrency.
@@ -488,6 +599,11 @@ func (e *Engine) Stats() Stats {
 	}
 	s.Queries = e.queries.Load()
 	s.Deduped = e.deduped.Load()
+	s.Feedback = e.feedback.Load()
+	s.FeedbackInstances = e.outcomes.size()
+	s.AdaptiveQueries = e.adaptiveQueries.Load()
+	s.AdaptiveInformed = e.adaptiveInformed.Load()
+	s.Profile = e.profInfo
 	s.Enumerations = ir.Enumerations()
 	s.Backend = e.timer.Exec.Name()
 	return s

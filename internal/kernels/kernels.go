@@ -70,6 +70,18 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind maps the lowercase BLAS-style kernel name back to its Kind —
+// the inverse of String for every valid kind, used when deserialising
+// persisted kernel profiles.
+func ParseKind(name string) (Kind, error) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("kernels: unknown kernel name %q", name)
+}
+
 // Call describes one kernel invocation: the kernel kind, the problem
 // dimensions, transposition flags, and the logical operands involved.
 //

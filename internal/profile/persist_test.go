@@ -1,0 +1,190 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lamb/internal/kernels"
+	"lamb/internal/xrand"
+)
+
+// TestPersistRoundTripIdenticalPredictions is the persistence
+// acceptance check: a written-then-loaded store predicts bit-for-bit
+// identically to the freshly measured one, across every kernel kind and
+// randomized shapes (on-grid, between points, and out-of-grid).
+func TestPersistRoundTripIdenticalPredictions(t *testing.T) {
+	timer := simTimer()
+	s := MeasureSet(timer, 3)
+	meta := HostMeta()
+	meta.Backend = "simulated/test"
+	meta.GridPoints = 3
+	meta.Reps = timer.Reps
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, s, meta); err != nil {
+		t.Fatal(err)
+	}
+	loaded, gotMeta, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta round-trip: got %+v, want %+v", gotMeta, meta)
+	}
+
+	rng := xrand.New(0x9e0f)
+	for kind := kernels.Kind(0); int(kind) < kernels.NumKinds; kind++ {
+		orig, got := s.Profile(kind), loaded.Profile(kind)
+		if got == nil {
+			t.Fatalf("%v profile missing after round-trip", kind)
+		}
+		for trial := 0; trial < 200; trial++ {
+			m := rng.IntRange(1, 2400)
+			n := rng.IntRange(1, 2400)
+			k := rng.IntRange(1, 2400)
+			if orig.RateAt(m, n, k) != got.RateAt(m, n, k) {
+				t.Fatalf("%v rate at (%d,%d,%d) differs after round-trip: %v != %v",
+					kind, m, n, k, got.RateAt(m, n, k), orig.RateAt(m, n, k))
+			}
+		}
+	}
+	// Whole-call predictions agree too (exercises the set dispatch).
+	calls := []kernels.Call{
+		kernels.NewGemm(300, 70, 911, "A", "B", "C", false, false),
+		kernels.NewSyrk(80, 100, "A", "C"),
+		kernels.NewTri2Full(333, "C"),
+		kernels.NewPotrf(640, "S"),
+	}
+	for _, c := range calls {
+		if s.PredictCall(c) != loaded.PredictCall(c) {
+			t.Fatalf("prediction for %v differs after round-trip", c)
+		}
+	}
+}
+
+func TestPersistFileRoundTrip(t *testing.T) {
+	timer := simTimer()
+	s := MeasureSet(timer, 2)
+	meta := Meta{Backend: "simulated/test", CreatedAt: "2026-07-30T00:00:00Z"}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := WriteFile(path, s, meta); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(path); err != nil || info.Mode().Perm() != 0o644 {
+		t.Fatalf("store mode %v (%v), want 0644 (a shareable artifact)", info.Mode(), err)
+	}
+	loaded, gotMeta, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta.Source != path {
+		t.Fatalf("Source = %q, want %q", gotMeta.Source, path)
+	}
+	if gotMeta.ID() != path {
+		t.Fatalf("ID = %q, want the source path", gotMeta.ID())
+	}
+	if gotMeta.Backend != meta.Backend || gotMeta.CreatedAt != meta.CreatedAt {
+		t.Fatalf("meta %+v", gotMeta)
+	}
+	c := kernels.NewGemm(100, 200, 300, "A", "B", "C", false, false)
+	if s.PredictCall(c) != loaded.PredictCall(c) {
+		t.Fatal("file round-trip changed predictions")
+	}
+}
+
+func TestPersistEncodeRejectsPartialSet(t *testing.T) {
+	// A partial set would write a store Decode refuses, failing only at
+	// load time — Encode must reject it at write time instead.
+	s := NewSet()
+	p, err := New(kernels.Gemm, []int{10}, []int{10}, []int{10}, [][][]float64{{{1e9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(p)
+	var buf bytes.Buffer
+	if err := Encode(&buf, s, Meta{}); err == nil || !strings.Contains(err.Error(), "partial") {
+		t.Fatalf("partial set encoded: %v", err)
+	}
+	if err := WriteFile(filepath.Join(t.TempDir(), "p.json"), s, Meta{}); err == nil {
+		t.Fatal("partial set written")
+	}
+}
+
+func TestPersistReadFileMissing(t *testing.T) {
+	if _, _, err := ReadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestPersistRejectsWrongSchemaVersion(t *testing.T) {
+	_, _, err := Decode(strings.NewReader(`{"schema_version": 99, "profiles": []}`))
+	if err == nil || !strings.Contains(err.Error(), "schema version 99") {
+		t.Fatalf("wrong-version error %v", err)
+	}
+}
+
+func TestPersistRejectsMalformedStores(t *testing.T) {
+	cases := map[string]string{
+		"truncated":      `{"schema_version": 1, "profiles": [`,
+		"unknown kernel": `{"schema_version": 1, "profiles": [{"kernel": "dgesvd", "grid_m": [1], "grid_n": [1], "grid_k": [1], "rate": [[[1]]]}]}`,
+		"empty grid":     `{"schema_version": 1, "profiles": [{"kernel": "gemm", "grid_m": [], "grid_n": [1], "grid_k": [1], "rate": []}]}`,
+		"unsorted grid":  `{"schema_version": 1, "profiles": [{"kernel": "gemm", "grid_m": [9, 4], "grid_n": [1], "grid_k": [1], "rate": [[[1]], [[1]]]}]}`,
+		"ragged rate":    `{"schema_version": 1, "profiles": [{"kernel": "gemm", "grid_m": [1, 2], "grid_n": [1], "grid_k": [1], "rate": [[[1]]]}]}`,
+		"negative rate":  `{"schema_version": 1, "profiles": [{"kernel": "gemm", "grid_m": [1], "grid_n": [1], "grid_k": [1], "rate": [[[-1]]]}]}`,
+		"zero rate":      `{"schema_version": 1, "profiles": [{"kernel": "gemm", "grid_m": [1], "grid_n": [1], "grid_k": [1], "rate": [[[0]]]}]}`,
+		"duplicate kind": `{"schema_version": 1, "profiles": [{"kernel": "gemm", "grid_m": [1], "grid_n": [1], "grid_k": [1], "rate": [[[1]]]}, {"kernel": "gemm", "grid_m": [1], "grid_n": [1], "grid_k": [1], "rate": [[[1]]]}]}`,
+		"no profiles":    `{"schema_version": 1, "profiles": []}`,
+		"missing kinds":  `{"schema_version": 1, "profiles": [{"kernel": "gemm", "grid_m": [1], "grid_n": [1], "grid_k": [1], "rate": [[[1]]]}]}`,
+	}
+	for name, doc := range cases {
+		if _, _, err := Decode(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestNewProfileValidates(t *testing.T) {
+	good, err := New(kernels.Gemm, []int{10, 20}, []int{10}, []int{10},
+		[][][]float64{{{1e9}}, {{2e9}}})
+	if err != nil || good == nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	if _, err := New(kernels.Kind(99), []int{10}, []int{10}, []int{10}, [][][]float64{{{1}}}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := New(kernels.Gemm, []int{0}, []int{10}, []int{10}, [][][]float64{{{1}}}); err == nil {
+		t.Fatal("non-positive grid size accepted")
+	}
+	if _, err := New(kernels.Gemm, []int{10, 10}, []int{10}, []int{10}, [][][]float64{{{1}}, {{1}}}); err == nil {
+		t.Fatal("duplicate grid point accepted")
+	}
+	if _, err := New(kernels.Gemm, []int{10}, []int{10}, []int{10}, [][][]float64{{{math.NaN()}}}); err == nil {
+		t.Fatal("NaN rate accepted")
+	}
+	if _, err := New(kernels.Gemm, []int{10}, []int{10}, []int{10}, [][][]float64{{{0}}}); err == nil {
+		t.Fatal("zero rate accepted (would predict +Inf forever)")
+	}
+}
+
+// TestMetaID pins the provenance tag rules serving relies on.
+func TestMetaID(t *testing.T) {
+	if got := (Meta{}).ID(); got != "in-memory" {
+		t.Fatalf("zero meta ID %q", got)
+	}
+	if got := (Meta{Backend: "blas", Hostname: "h1"}).ID(); got != "blas@h1" {
+		t.Fatalf("backend meta ID %q", got)
+	}
+	if got := (Meta{Backend: "blas"}).ID(); got != "blas" {
+		t.Fatalf("backend-only meta ID %q", got)
+	}
+	if got := (Meta{Hostname: "h1"}).ID(); got != "h1" {
+		t.Fatalf("host-only meta ID %q", got)
+	}
+	if got := (Meta{Source: "PROFILE.json", Backend: "blas"}).ID(); got != "PROFILE.json" {
+		t.Fatalf("source meta ID %q", got)
+	}
+}

@@ -159,6 +159,53 @@ func callForShape(kind kernels.Kind, m, n, k int) kernels.Call {
 	}
 }
 
+// New constructs a Profile from already-measured data: sorted grids and
+// a rate table with rate[i][j][l] in FLOP/s (bytes/s for data-movement
+// kernels) at (gridM[i], gridN[j], gridK[l]). It validates the invariants
+// Measure guarantees, so deserialised profiles predict exactly like
+// freshly measured ones.
+func New(kind kernels.Kind, gridM, gridN, gridK []int, rate [][][]float64) (*Profile, error) {
+	if int(kind) < 0 || int(kind) >= kernels.NumKinds {
+		return nil, fmt.Errorf("profile: unknown kind %d", int(kind))
+	}
+	for _, g := range [][]int{gridM, gridN, gridK} {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("profile: %v grid is empty", kind)
+		}
+		for i, x := range g {
+			if x <= 0 {
+				return nil, fmt.Errorf("profile: %v grid has non-positive size %d", kind, x)
+			}
+			if i > 0 && g[i-1] >= x {
+				return nil, fmt.Errorf("profile: %v grid not strictly increasing: %v", kind, g)
+			}
+		}
+	}
+	if len(rate) != len(gridM) {
+		return nil, fmt.Errorf("profile: %v rate has %d m-planes, want %d", kind, len(rate), len(gridM))
+	}
+	for i := range rate {
+		if len(rate[i]) != len(gridN) {
+			return nil, fmt.Errorf("profile: %v rate[%d] has %d n-rows, want %d", kind, i, len(rate[i]), len(gridN))
+		}
+		for j := range rate[i] {
+			if len(rate[i][j]) != len(gridK) {
+				return nil, fmt.Errorf("profile: %v rate[%d][%d] has %d k-entries, want %d", kind, i, j, len(rate[i][j]), len(gridK))
+			}
+			for l, r := range rate[i][j] {
+				// A zero rate would make every prediction touching it
+				// +Inf — a state no amount of adaptive feedback can
+				// blend away — so only strictly positive finite rates
+				// are valid.
+				if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+					return nil, fmt.Errorf("profile: %v rate[%d][%d][%d] = %v is not a valid rate", kind, i, j, l, r)
+				}
+			}
+		}
+	}
+	return &Profile{Kind: kind, GridM: gridM, GridN: gridN, GridK: gridK, rate: rate}, nil
+}
+
 // locate returns the bracketing indices and the log-space weight for x in
 // the sorted grid g (clamping outside the range).
 func locate(g []int, x int) (lo, hi int, w float64) {
@@ -230,6 +277,12 @@ func (p *Profile) PredictCall(c kernels.Call) float64 {
 type Set struct {
 	profiles [kernels.NumKinds]*Profile
 }
+
+// NewSet returns an empty Set; fill it with Put (deserialisation does).
+func NewSet() *Set { return &Set{} }
+
+// Put installs a profile under its kind, replacing any previous one.
+func (s *Set) Put(p *Profile) { s.profiles[p.Kind] = p }
 
 // MeasureSet benchmarks profiles for every kernel kind on the default
 // grid with the given resolution.

@@ -92,6 +92,45 @@ func TestProfileClampsOutsideGrid(t *testing.T) {
 	}
 }
 
+func TestSinglePointProfile(t *testing.T) {
+	// A one-point grid is a degenerate but legal profile: the surface is
+	// constant, so every shape predicts at the single measured rate.
+	timer := simTimer()
+	p := Measure(timer, kernels.Gemm, []int{100}, []int{100}, []int{100})
+	want := p.RateAt(100, 100, 100)
+	if want <= 0 {
+		t.Fatalf("measured rate %v", want)
+	}
+	for _, sh := range [][3]int{{1, 1, 1}, {100, 100, 100}, {5000, 2, 700}} {
+		if got := p.RateAt(sh[0], sh[1], sh[2]); got != want {
+			t.Fatalf("single-point rate at %v = %v, want constant %v", sh, got, want)
+		}
+	}
+	c := kernels.NewGemm(640, 480, 320, "A", "B", "C", false, false)
+	if pred := p.PredictCall(c); pred != c.Flops()/want {
+		t.Fatalf("single-point prediction %v, want %v", pred, c.Flops()/want)
+	}
+}
+
+func TestOutOfGridExtrapolationIsFlat(t *testing.T) {
+	// Outside the grid the surface clamps (flat extrapolation), so
+	// predicted time still scales with the work: a 2× larger
+	// out-of-grid GEMM predicts exactly 8× the time.
+	timer := simTimer()
+	grid := []int{50, 100, 400}
+	p := Measure(timer, kernels.Gemm, grid, grid, grid)
+	small := kernels.NewGemm(800, 800, 800, "A", "B", "C", false, false)
+	big := kernels.NewGemm(1600, 1600, 1600, "A", "B", "C", false, false)
+	ratio := p.PredictCall(big) / p.PredictCall(small)
+	if math.Abs(ratio-8) > 1e-9 {
+		t.Fatalf("flat extrapolation time ratio %v, want 8", ratio)
+	}
+	// Mixed in/out coordinates clamp per dimension.
+	if p.RateAt(200, 10, 5000) != p.RateAt(200, 50, 400) {
+		t.Fatal("per-dimension clamping broken")
+	}
+}
+
 func TestPredictCallAccuracy(t *testing.T) {
 	// On the simulated machine, profile prediction of an off-grid call
 	// should land within ~35% of the true cold time (the surface has

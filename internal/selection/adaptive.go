@@ -1,0 +1,135 @@
+package selection
+
+import (
+	"math"
+
+	"lamb/internal/expr"
+)
+
+// The follow-up paper "A Test for FLOPs as a Discriminant for Linear
+// Algebra Algorithms" (arXiv:2209.03258) reframes algorithm selection
+// as an online decision process: a selector that serves traffic can
+// observe how its choices actually perform and fold those outcomes back
+// into later decisions. Adaptive implements that loop on top of the
+// profile-backed prior this repository already has.
+
+// Predictor estimates an algorithm's execution time — the prior an
+// adaptive selector starts from before any outcome has been observed.
+type Predictor interface {
+	PredictAlgorithm(a *expr.Algorithm) float64
+}
+
+// InstanceStrategy is a Strategy that can use the queried instance
+// itself (not just the bound algorithm set) when choosing — e.g. to
+// look up measured outcomes recorded near that instance. The engine
+// prefers ChooseFor when a strategy implements it.
+type InstanceStrategy interface {
+	Strategy
+	ChooseFor(inst expr.Instance, algs []expr.Algorithm) int
+}
+
+// Observation is one aggregated measured outcome: algorithm Algorithm
+// (the paper's 1-based index) took Seconds on average over Count
+// measurements at an instance Distance away from the queried one in
+// log-shape space.
+type Observation struct {
+	Algorithm int
+	Seconds   float64
+	Count     int
+	Distance  float64
+}
+
+// DefaultAdaptiveRadius is the log-shape distance scale at which
+// observed outcomes stop informing a query: e^0.25 ≈ 1.28, so outcomes
+// within roughly a quarter log-unit (a ~28% combined size difference)
+// carry meaningful weight.
+const DefaultAdaptiveRadius = 0.25
+
+// DefaultPriorWeight is the pseudo-count the prediction enters the
+// blend with: one virtual observation at the predicted time, so a
+// single contradicting measurement already pulls the estimate halfway.
+const DefaultPriorWeight = 1.0
+
+// Adaptive starts from a profile-backed prediction and refines it with
+// measured outcomes fed back by callers. For each algorithm the
+// estimate is a precision-weighted blend
+//
+//	t̂ᵢ = (w₀·predictedᵢ + Σ wₒ·secondsₒ) / (w₀ + Σ wₒ)
+//
+// over the observations o for algorithm i near the queried instance,
+// with Gaussian distance weights wₒ = countₒ·exp(−(dₒ/Radius)²) and the
+// prior pseudo-count w₀ = PriorWeight. With no feedback it reduces to
+// the prior exactly; as outcomes accumulate in an instance region the
+// measured times dominate and repeated traffic converges on the
+// empirically best algorithm there.
+type Adaptive struct {
+	// Prior supplies the starting prediction (typically MinPredicted
+	// over a persisted profile store).
+	Prior Predictor
+	// Observe returns outcomes recorded near the instance. The engine
+	// backs it with its concurrency-safe outcome store; nil means no
+	// feedback source, i.e. the prior alone.
+	Observe func(inst expr.Instance) []Observation
+	// Radius is the distance scale (default DefaultAdaptiveRadius).
+	Radius float64
+	// PriorWeight is the prior's pseudo-count (default DefaultPriorWeight).
+	PriorWeight float64
+}
+
+// Name implements Strategy.
+func (Adaptive) Name() string { return "adaptive" }
+
+// Choose implements Strategy: without an instance there is nothing to
+// look outcomes up by, so the choice is the prior's.
+func (s Adaptive) Choose(algs []expr.Algorithm) int {
+	return s.ChooseFor(nil, algs)
+}
+
+// ChooseFor implements InstanceStrategy.
+func (s Adaptive) ChooseFor(inst expr.Instance, algs []expr.Algorithm) int {
+	if len(algs) == 0 {
+		panic("selection: choose from empty set")
+	}
+	if s.Prior == nil {
+		panic("selection: Adaptive needs a Prior predictor (e.g. MinPredicted over a profile set)")
+	}
+	radius := s.Radius
+	if radius <= 0 {
+		radius = DefaultAdaptiveRadius
+	}
+	w0 := s.PriorWeight
+	if w0 <= 0 {
+		w0 = DefaultPriorWeight
+	}
+	// sumW/sumWT accumulate per algorithm position. Observations name
+	// algorithms by their 1-based Algorithm.Index, which coincides with
+	// position+1 only for full enumeration sets — a caller may pass a
+	// filtered or reordered set, so match on Index.
+	sumW := make([]float64, len(algs))
+	sumWT := make([]float64, len(algs))
+	if s.Observe != nil && inst != nil {
+		pos := make(map[int]int, len(algs))
+		for i := range algs {
+			pos[algs[i].Index] = i
+		}
+		for _, o := range s.Observe(inst) {
+			i, ok := pos[o.Algorithm]
+			if !ok || o.Count <= 0 || o.Seconds <= 0 {
+				continue
+			}
+			d := o.Distance / radius
+			w := float64(o.Count) * math.Exp(-d*d)
+			sumW[i] += w
+			sumWT[i] += w * o.Seconds
+		}
+	}
+	best := 0
+	bestT := math.Inf(1)
+	for i := range algs {
+		t := (w0*s.Prior.PredictAlgorithm(&algs[i]) + sumWT[i]) / (w0 + sumW[i])
+		if t < bestT {
+			best, bestT = i, t
+		}
+	}
+	return best
+}

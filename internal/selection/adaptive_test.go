@@ -1,0 +1,159 @@
+package selection
+
+import (
+	"testing"
+
+	"lamb/internal/expr"
+	"lamb/internal/kernels"
+)
+
+// stubPredictor predicts a fixed time per algorithm position (keyed by
+// the paper's 1-based index).
+type stubPredictor map[int]float64
+
+func (p stubPredictor) PredictAlgorithm(a *expr.Algorithm) float64 { return p[a.Index] }
+
+// stubAlgs builds n minimal algorithms with indices 1..n.
+func stubAlgs(n int) []expr.Algorithm {
+	out := make([]expr.Algorithm, n)
+	for i := range out {
+		out[i] = expr.Algorithm{
+			Index: i + 1,
+			Calls: []kernels.Call{kernels.NewGemm(10, 10, 10, "A", "B", "C", false, false)},
+		}
+	}
+	return out
+}
+
+func TestAdaptiveWithoutEvidenceIsThePrior(t *testing.T) {
+	prior := stubPredictor{1: 3.0, 2: 1.0, 3: 2.0}
+	s := Adaptive{Prior: prior} // no Observe source at all
+	algs := stubAlgs(3)
+	if got := s.ChooseFor(expr.Instance{100, 100}, algs); got != 1 {
+		t.Fatalf("prior pick %d, want 1 (algorithm 2)", got)
+	}
+	if got := s.Choose(algs); got != 1 {
+		t.Fatalf("Choose fallback pick %d, want 1", got)
+	}
+	// An Observe source returning nothing behaves the same.
+	s.Observe = func(expr.Instance) []Observation { return nil }
+	if got := s.ChooseFor(expr.Instance{100, 100}, algs); got != 1 {
+		t.Fatalf("empty-evidence pick %d, want 1", got)
+	}
+}
+
+func TestAdaptiveSwitchesOnContradictingEvidence(t *testing.T) {
+	// The prior prefers algorithm 1, but measured outcomes at distance 0
+	// say it is slow and algorithm 3 is fast.
+	prior := stubPredictor{1: 1.0, 2: 1.4, 3: 1.5}
+	s := Adaptive{
+		Prior: prior,
+		Observe: func(expr.Instance) []Observation {
+			return []Observation{
+				{Algorithm: 1, Seconds: 10.0, Count: 3, Distance: 0},
+				{Algorithm: 3, Seconds: 0.1, Count: 3, Distance: 0},
+			}
+		},
+	}
+	// Blended: alg1 ≈ (1 + 3·10)/4 = 7.75, alg2 = 1.4, alg3 ≈ (1.5 + 0.3)/4 = 0.45.
+	if got := s.ChooseFor(expr.Instance{100}, stubAlgs(3)); got != 2 {
+		t.Fatalf("pick %d, want 2 (algorithm 3)", got)
+	}
+}
+
+func TestAdaptiveDistantEvidenceCarriesLittleWeight(t *testing.T) {
+	// The same contradicting outcome far outside the radius must not
+	// flip the choice: its Gaussian weight is negligible.
+	prior := stubPredictor{1: 1.0, 2: 1.1}
+	s := Adaptive{
+		Prior:  prior,
+		Radius: 0.25,
+		Observe: func(expr.Instance) []Observation {
+			return []Observation{{Algorithm: 1, Seconds: 100.0, Count: 1, Distance: 2.0}}
+		},
+	}
+	// weight = exp(-(2/0.25)²) = exp(-64) ≈ 0: pick stays with the prior.
+	if got := s.ChooseFor(expr.Instance{100}, stubAlgs(2)); got != 0 {
+		t.Fatalf("distant evidence flipped the pick to %d", got)
+	}
+}
+
+func TestAdaptiveEvidenceAccumulates(t *testing.T) {
+	// One mild observation is not enough to overcome a strong prior
+	// gap, but repeated consistent observations are — the convergence
+	// property: traffic plus feedback homes in on the measured best.
+	prior := stubPredictor{1: 1.0, 2: 4.0}
+	obs := []Observation{}
+	s := Adaptive{
+		Prior:   prior,
+		Observe: func(expr.Instance) []Observation { return obs },
+	}
+	algs := stubAlgs(2)
+	inst := expr.Instance{64, 64}
+	obs = append(obs, Observation{Algorithm: 2, Seconds: 0.5, Count: 1, Distance: 0})
+	if got := s.ChooseFor(inst, algs); got != 0 {
+		// (4 + 0.5)/2 = 2.25 > 1.0: still the prior's pick.
+		t.Fatalf("single observation flipped too early: pick %d", got)
+	}
+	obs[0].Count = 7
+	if got := s.ChooseFor(inst, algs); got != 1 {
+		// (4 + 7·0.5)/8 = 0.9375 < 1.0: evidence wins.
+		t.Fatalf("accumulated evidence ignored: pick %d", got)
+	}
+}
+
+func TestAdaptiveMatchesObservationsByIndexNotPosition(t *testing.T) {
+	// A caller may pass a filtered set whose positions don't line up
+	// with the paper's 1-based indices; observations must attach to the
+	// algorithm with the matching Index.
+	algs := []expr.Algorithm{{Index: 2}, {Index: 5}}
+	prior := stubPredictor{2: 1.0, 5: 1.2}
+	s := Adaptive{
+		Prior: prior,
+		Observe: func(expr.Instance) []Observation {
+			return []Observation{
+				{Algorithm: 2, Seconds: 50, Count: 9, Distance: 0},  // slow: Index 2
+				{Algorithm: 5, Seconds: 0.1, Count: 9, Distance: 0}, // fast: Index 5
+			}
+		},
+	}
+	if got := s.ChooseFor(expr.Instance{10}, algs); got != 1 {
+		t.Fatalf("pick position %d, want 1 (Index 5)", got)
+	}
+	// An observation for an index not in the set is dropped, not
+	// misattributed.
+	s.Observe = func(expr.Instance) []Observation {
+		return []Observation{{Algorithm: 3, Seconds: 100, Count: 9, Distance: 0}}
+	}
+	if got := s.ChooseFor(expr.Instance{10}, algs); got != 0 {
+		t.Fatalf("out-of-set observation changed the pick: %d", got)
+	}
+}
+
+func TestAdaptiveIgnoresInvalidObservations(t *testing.T) {
+	prior := stubPredictor{1: 2.0, 2: 1.0}
+	s := Adaptive{
+		Prior: prior,
+		Observe: func(expr.Instance) []Observation {
+			return []Observation{
+				{Algorithm: 0, Seconds: 1, Count: 1},   // below range
+				{Algorithm: 99, Seconds: 1, Count: 1},  // above range
+				{Algorithm: 2, Seconds: -1, Count: 1},  // non-positive time
+				{Algorithm: 2, Seconds: 50, Count: 0},  // no measurements
+				{Algorithm: 2, Seconds: 50, Count: -3}, // negative count
+			}
+		},
+	}
+	if got := s.ChooseFor(expr.Instance{10}, stubAlgs(2)); got != 1 {
+		t.Fatalf("invalid observations changed the pick: %d", got)
+	}
+}
+
+func TestAdaptiveName(t *testing.T) {
+	if (Adaptive{}).Name() != "adaptive" {
+		t.Fatal("name")
+	}
+	// Adaptive must satisfy both strategy interfaces.
+	var _ Strategy = Adaptive{}
+	var _ InstanceStrategy = Adaptive{}
+}

@@ -70,16 +70,18 @@ func (s MinPredicted) Choose(algs []expr.Algorithm) int {
 		panic("selection: choose from empty set")
 	}
 	best := 0
-	bestT := s.predict(&algs[0])
+	bestT := s.PredictAlgorithm(&algs[0])
 	for i := 1; i < len(algs); i++ {
-		if t := s.predict(&algs[i]); t < bestT {
+		if t := s.PredictAlgorithm(&algs[i]); t < bestT {
 			best, bestT = i, t
 		}
 	}
 	return best
 }
 
-func (s MinPredicted) predict(a *expr.Algorithm) float64 {
+// PredictAlgorithm implements Predictor: the algorithm's predicted time
+// is the sum of its calls' profile-interpolated times.
+func (s MinPredicted) PredictAlgorithm(a *expr.Algorithm) float64 {
 	var sum float64
 	for _, c := range a.Calls {
 		sum += s.Profiles.PredictCall(c)

@@ -20,6 +20,9 @@ const (
 	ADDSYM = kernels.AddSym
 )
 
+// NumKernelKinds is the number of kernel kinds.
+const NumKernelKinds = kernels.NumKinds
+
 // KernelCall describes one kernel invocation with its dimensions and
 // operands.
 type KernelCall = kernels.Call

@@ -101,15 +101,28 @@ type (
 	Profile = profile.Profile
 	// ProfileSet covers all kernel kinds.
 	ProfileSet = profile.Set
+	// ProfileMeta records a profile set's provenance (machine, backend,
+	// measurement protocol); persisted alongside the profiles.
+	ProfileMeta = profile.Meta
 	// CurvePoint is one sample of a Figure-1 efficiency curve.
 	CurvePoint = profile.CurvePoint
 	// Strategy selects an algorithm from a set.
 	Strategy = selection.Strategy
+	// InstanceStrategy is a Strategy that also uses the queried
+	// instance (the adaptive strategy does, to look up nearby outcomes).
+	InstanceStrategy = selection.InstanceStrategy
+	// Observation is one aggregated measured outcome an Adaptive
+	// strategy folds into its choice.
+	Observation = selection.Observation
 	// SelectionReport summarises a strategy's regret.
 	SelectionReport = selection.Report
 	// SelectionConfig parameterises strategy evaluation.
 	SelectionConfig = selection.Config
 )
+
+// ProfileSchemaVersion is the version of the persisted profile file
+// format this build reads and writes.
+const ProfileSchemaVersion = profile.SchemaVersion
 
 // Selection strategies.
 type (
@@ -119,6 +132,10 @@ type (
 	// MinPredicted combines FLOP counts with kernel performance profiles
 	// (the paper's proposed improvement).
 	MinPredicted = selection.MinPredicted
+	// Adaptive refines the profile-backed prediction online with
+	// measured outcomes near the queried instance (the follow-up paper's
+	// online-decision framing, arXiv:2209.03258).
+	Adaptive = selection.Adaptive
 	// Oracle picks the empirically fastest algorithm by measuring all.
 	Oracle = selection.Oracle
 )
@@ -327,6 +344,20 @@ func EfficiencyCurve(t *Timer, kind KernelKind, sizes []int) []CurvePoint {
 // MeasureProfiles benchmarks performance profiles for every kernel kind
 // on a geometric grid with the given points per dimension.
 func MeasureProfiles(t *Timer, points int) *ProfileSet { return profile.MeasureSet(t, points) }
+
+// WriteProfiles persists a profile set with its provenance as
+// schema-versioned JSON (the `lamb profile` artifact).
+func WriteProfiles(path string, s *ProfileSet, meta ProfileMeta) error {
+	return profile.WriteFile(path, s, meta)
+}
+
+// ReadProfiles loads a persisted profile set; predictions from the
+// loaded set are identical to the freshly measured one.
+func ReadProfiles(path string) (*ProfileSet, ProfileMeta, error) { return profile.ReadFile(path) }
+
+// HostProfileMeta returns provenance describing the current host;
+// callers fill in the measurement-specific fields.
+func HostProfileMeta() ProfileMeta { return profile.HostMeta() }
 
 // EvaluateStrategies measures selection-strategy regret on random
 // instances.
