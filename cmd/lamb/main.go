@@ -49,6 +49,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"lamb"
 	"lamb/internal/engine"
@@ -174,24 +175,26 @@ func (c *commonFlags) timer() (*lamb.Timer, error) {
 // engine, so enumeration, binding, and plan compilation are cached in
 // one place. Non-positive capacities fall back to the engine defaults.
 func (c *commonFlags) engine(bindEntries, planEntries int) (*engine.Engine, error) {
-	return c.engineWithProfiles(bindEntries, planEntries, "")
+	return c.engineWithProfiles(bindEntries, planEntries, "", 0)
 }
 
 // engineWithProfiles is engine plus a persisted profile store: when
 // profilePath is non-empty the store is loaded and the engine serves
 // the profile-backed strategies (min-predicted, adaptive) without any
 // serve-time measurement, carrying the store's provenance into stats
-// and records.
-func (c *commonFlags) engineWithProfiles(bindEntries, planEntries int, profilePath string) (*engine.Engine, error) {
+// and records. outcomeHalfLife configures the feedback store's weight
+// decay (0 disables it).
+func (c *commonFlags) engineWithProfiles(bindEntries, planEntries int, profilePath string, outcomeHalfLife time.Duration) (*engine.Engine, error) {
 	e, err := c.executor()
 	if err != nil {
 		return nil, err
 	}
 	cfg := engine.Config{
-		Executor:    e,
-		Reps:        c.reps,
-		BindEntries: bindEntries,
-		PlanEntries: planEntries,
+		Executor:        e,
+		Reps:            c.reps,
+		BindEntries:     bindEntries,
+		PlanEntries:     planEntries,
+		OutcomeHalfLife: outcomeHalfLife,
 	}
 	if profilePath != "" {
 		set, meta, err := loadProfileStore(profilePath, e.Name())

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"lamb"
 	"lamb/internal/engine"
@@ -30,11 +32,12 @@ func cmdSelect(args []string) error {
 	strategy := fs.String("strategy", engine.DefaultStrategy, "query-mode strategy: min-flops, min-predicted, adaptive, or oracle")
 	profilePath := fs.String("profile", "", "persisted kernel-profile store (skips profile measurement)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable selection record (query mode)")
+	deadline := fs.Duration("deadline", 0, "query-mode deadline (0 = none; timed strategies degrade to min-flops when it expires)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *instFlag != "" {
-		return selectQuery(c, *instFlag, *strategy, *profilePath, *gridPoints, *jsonOut)
+		return selectQuery(c, *instFlag, *strategy, *profilePath, *gridPoints, *jsonOut, *deadline)
 	}
 	if *jsonOut {
 		return fmt.Errorf("-json requires -instance (the record describes one query)")
@@ -46,7 +49,7 @@ func cmdSelect(args []string) error {
 // come from a persisted store when -profile is given; otherwise the
 // profile-backed strategies measure once on the same backend the engine
 // then serves from.
-func selectQuery(c *commonFlags, instFlag, strategy, profilePath string, gridPoints int, jsonOut bool) error {
+func selectQuery(c *commonFlags, instFlag, strategy, profilePath string, gridPoints int, jsonOut bool, deadline time.Duration) error {
 	ex, err := c.executor()
 	if err != nil {
 		return err
@@ -75,7 +78,13 @@ func selectQuery(c *commonFlags, instFlag, strategy, profilePath string, gridPoi
 	if err != nil {
 		return err
 	}
-	rec, err := eng.Query(engine.Query{Expr: c.exprName, Instance: inst, Strategy: strategy})
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	rec, err := eng.QueryCtx(ctx, engine.Query{Expr: c.exprName, Instance: inst, Strategy: strategy})
 	if err != nil {
 		return err
 	}

@@ -27,17 +27,21 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"lamb/internal/cache"
 	"lamb/internal/exec"
 	"lamb/internal/expr"
+	"lamb/internal/faultinject"
 	"lamb/internal/ir"
+	"lamb/internal/outcomes"
 	"lamb/internal/profile"
 	"lamb/internal/selection"
 )
@@ -97,6 +101,11 @@ type Config struct {
 	// distinct (expression, instance) records, least-recently-touched
 	// evicted).
 	FeedbackEntries int
+	// OutcomeHalfLife is the exponential decay half-life applied to
+	// recorded outcome weights, so stale (in particular pre-restart)
+	// measurements cannot dominate fresh evidence forever. Zero disables
+	// decay.
+	OutcomeHalfLife time.Duration
 }
 
 // Query is one selection request.
@@ -136,6 +145,11 @@ type Record struct {
 	// Profile is the provenance tag of the profile store the answer
 	// derives from (profile-backed strategies only).
 	Profile string `json:"profile,omitempty"`
+	// Requested is the strategy the query asked for when the answer
+	// degraded to a different one; Degraded is the reason ("no-profile",
+	// "deadline"). Strategy always names the strategy actually used.
+	Requested string `json:"requested_strategy,omitempty"`
+	Degraded  string `json:"degraded,omitempty"`
 	// Candidates lists the whole set in enumeration order.
 	Candidates []Candidate `json:"candidates"`
 }
@@ -172,6 +186,13 @@ type Stats struct {
 	// the neighbourhood radius actually informed the choice.
 	AdaptiveQueries  uint64 `json:"adaptive_queries"`
 	AdaptiveInformed uint64 `json:"adaptive_informed"`
+	// DegradedQueries counts queries answered by a strategy further down
+	// the degradation ladder than the one requested (no profile store,
+	// deadline too tight to measure).
+	DegradedQueries uint64 `json:"degraded_queries"`
+	// FeedbackRestored counts outcomes restored from a snapshot at boot
+	// (Engine.RestoreOutcomes), as opposed to fed back live.
+	FeedbackRestored uint64 `json:"feedback_restored"`
 	// Profile is the provenance of the loaded profile store (nil when
 	// the engine serves without profiles).
 	Profile *ProfileInfo `json:"profile,omitempty"`
@@ -188,28 +209,47 @@ type ProfileInfo struct {
 	// ID is the short provenance tag (profile.Meta.ID) query records
 	// reference.
 	ID string `json:"id"`
+	// Generation counts profile-store installations on this engine: 1
+	// for the store loaded at boot, incremented by every hot reload
+	// (Engine.ReloadProfiles), so an operator can confirm a reload took.
+	Generation uint64 `json:"generation"`
 	profile.Meta
 }
 
-// strategyEntry pairs a strategy with whether choosing executes
-// algorithms (and must therefore be serialised on the execution lock),
-// and whether its answers derive from the loaded profile store (so the
-// record carries the profile's provenance). Per-query strategies
-// (adaptive, which must know the expression to look outcomes up) supply
-// perQuery instead of s.
-type strategyEntry struct {
-	s        selection.Strategy
-	perQuery func(exprName string) selection.Strategy
-	timed    bool
-	profiled bool
+// profileState is the engine's RCU-published profile store: everything
+// derived from one loaded store, swapped atomically by ReloadProfiles
+// while in-flight queries keep the state they loaded at entry. The
+// strategies built over it are value types holding only the set
+// pointer, so a state never mutates after publication.
+type profileState struct {
+	set       *profile.Set
+	info      *ProfileInfo
+	predicted selection.MinPredicted
+}
+
+// strategyRun is one query's resolved strategy: what was requested,
+// what actually answers (after walking the degradation ladder), and how
+// to run it. Per-query strategies (adaptive, which must know the
+// expression to look outcomes up) supply perQuery instead of s.
+type strategyRun struct {
+	// name is the strategy that answers; requested differs from name
+	// (and degraded holds the reason) when the ladder was walked.
+	name      string
+	requested string
+	degraded  string
+	s         selection.Strategy
+	perQuery  func(exprName string) selection.Strategy
+	timed     bool
+	profileID string
 }
 
 // flight is one in-flight query the singleflight layer deduplicates
-// against.
+// against. done is closed after rec/err are final, so waiters can
+// select against their own context's cancellation.
 type flight struct {
-	wg  sync.WaitGroup
-	rec *Record
-	err error
+	done chan struct{}
+	rec  *Record
+	err  error
 }
 
 // Engine is the concurrency-safe selection engine. All methods are safe
@@ -219,12 +259,11 @@ type Engine struct {
 	plans *exec.PlanCache // non-nil only for the measured backend
 
 	// mu guards the expression table, its counters, and the binding LRU.
-	mu         sync.Mutex
-	exprs      map[string]expr.Expression
-	exprHits   uint64
-	exprMiss   uint64
-	bind       *cache.LRU[bindKey, []expr.Algorithm]
-	strategies map[string]strategyEntry
+	mu       sync.Mutex
+	exprs    map[string]expr.Expression
+	exprHits uint64
+	exprMiss uint64
+	bind     *cache.LRU[bindKey, []expr.Algorithm]
 
 	// execMu serialises timing-based strategies: executors measure wall
 	// time, so concurrent measurement would contend for the cores being
@@ -239,15 +278,22 @@ type Engine struct {
 	deduped atomic.Uint64
 
 	// The feedback path: measured outcomes recorded per (expression,
-	// instance), searched by log-shape distance for adaptive queries.
-	outcomes         *outcomeStore
+	// instance), searched by log-shape distance for adaptive queries,
+	// time-decayed, snapshot/restorable (lamb/internal/outcomes).
+	outcomes         *outcomes.Store
 	feedback         atomic.Uint64
+	restored         atomic.Uint64
 	adaptiveQueries  atomic.Uint64
 	adaptiveInformed atomic.Uint64
+	degraded         atomic.Uint64
 
-	// profInfo is the loaded profile store's provenance (nil without
-	// profiles).
-	profInfo *ProfileInfo
+	// prof is the RCU-published profile state (nil without profiles):
+	// queries load it once at entry, ReloadProfiles swaps it atomically,
+	// in-flight queries finish on the state they started with. reloadGen
+	// counts installations.
+	prof           atomic.Pointer[profileState]
+	reloadGen      atomic.Uint64
+	adaptiveRadius float64
 }
 
 // bindKey identifies a bound algorithm set: canonical expression name
@@ -280,7 +326,7 @@ func New(cfg Config) *Engine {
 		exprs:    make(map[string]expr.Expression),
 		bind:     cache.NewLRU[bindKey, []expr.Algorithm](bindEntries),
 		inflight: make(map[string]*flight),
-		outcomes: newOutcomeStore(feedbackEntries),
+		outcomes: outcomes.NewStore(feedbackEntries, cfg.OutcomeHalfLife),
 	}
 	if m, ok := ex.(*exec.Measured); ok {
 		if cfg.PlanEntries <= 0 && cfg.CallPlanEntries <= 0 && m.Plans != nil {
@@ -302,39 +348,35 @@ func New(cfg Config) *Engine {
 			e.plans = m.Plans
 		}
 	}
-	e.strategies = map[string]strategyEntry{
-		"min-flops": {s: selection.MinFlops{}},
-		"oracle":    {s: selection.Oracle{Timer: timer}, timed: true},
+	e.adaptiveRadius = cfg.AdaptiveRadius
+	if e.adaptiveRadius <= 0 {
+		e.adaptiveRadius = selection.DefaultAdaptiveRadius
 	}
 	if cfg.Profiles != nil {
-		info := &ProfileInfo{Meta: cfg.ProfileMeta}
-		info.ID = cfg.ProfileMeta.ID()
-		e.profInfo = info
-		predicted := selection.MinPredicted{Profiles: cfg.Profiles}
-		e.strategies["min-predicted"] = strategyEntry{s: predicted, profiled: true}
-		radius := cfg.AdaptiveRadius
-		if radius <= 0 {
-			radius = selection.DefaultAdaptiveRadius
-		}
-		// Adaptive is built per query: the outcome lookup needs the
-		// resolved expression name, and counting informed choices at the
-		// point of observation keeps the stats honest under concurrency.
-		e.strategies["adaptive"] = strategyEntry{profiled: true, perQuery: func(exprName string) selection.Strategy {
-			e.adaptiveQueries.Add(1)
-			return selection.Adaptive{
-				Prior:  predicted,
-				Radius: radius,
-				Observe: func(inst expr.Instance) []selection.Observation {
-					obs := e.outcomes.near(exprName, inst, radius)
-					if len(obs) > 0 {
-						e.adaptiveInformed.Add(1)
-					}
-					return obs
-				},
-			}
-		}}
+		e.ReloadProfiles(cfg.Profiles, cfg.ProfileMeta)
 	}
 	return e
+}
+
+// ReloadProfiles atomically installs a profile store (and its derived
+// strategies) without pausing queries: the new state is published with
+// one pointer swap, in-flight queries finish on the store they loaded at
+// entry, and subsequent queries see only the new one. Returns the
+// installed generation (1 for the store loaded at boot). This is the
+// hot-reload path behind `lamb serve`'s SIGHUP and /api/admin/reload.
+func (e *Engine) ReloadProfiles(set *profile.Set, meta profile.Meta) uint64 {
+	if set == nil {
+		panic("engine: ReloadProfiles with a nil profile set")
+	}
+	info := &ProfileInfo{Meta: meta}
+	info.ID = meta.ID()
+	info.Generation = e.reloadGen.Add(1)
+	e.prof.Store(&profileState{
+		set:       set,
+		info:      info,
+		predicted: selection.MinPredicted{Profiles: set},
+	})
+	return info.Generation
 }
 
 // Timer returns the engine's timer; experiment runners share it so all
@@ -342,17 +384,12 @@ func New(cfg Config) *Engine {
 // backend, its plan cache).
 func (e *Engine) Timer() *exec.Timer { return e.timer }
 
-// Strategies returns the names of the registered strategies, for
-// error messages and the serve endpoint.
+// Strategies returns the names of the known strategies, for error
+// messages and the serve endpoint. All four are always accepted: the
+// profile-backed ones degrade to min-flops (with the record stamped)
+// when no profile store is loaded.
 func (e *Engine) Strategies() []string {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]string, 0, len(e.strategies))
-	for name := range e.strategies {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
+	return []string{"adaptive", "min-flops", "min-predicted", "oracle"}
 }
 
 // Register makes a custom expression (e.g. one built with
@@ -456,11 +493,23 @@ func (e *Engine) algorithmsFor(x expr.Expression, inst expr.Instance) ([]expr.Al
 	return algs, nil
 }
 
-// Query answers one selection request. Concurrent identical queries
-// (same expression, instance, and strategy) are deduplicated: one
-// computes, the rest wait and share its record.
+// Query answers one selection request with no deadline; see QueryCtx.
 func (e *Engine) Query(q Query) (*Record, error) {
+	return e.QueryCtx(context.Background(), q)
+}
+
+// QueryCtx answers one selection request under the caller's context.
+// Concurrent identical queries (same expression, instance, and
+// strategy) are deduplicated: one computes, the rest wait and share its
+// record — but each waiter honours its own context, so one slow leader
+// cannot hold a cancelled request hostage. A context that expires
+// mid-measurement degrades timed strategies to a FLOPs-only answer (see
+// answer); a context that is already done fails immediately.
+func (e *Engine) QueryCtx(ctx context.Context, q Query) (*Record, error) {
 	e.queries.Add(1)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	strat := q.Strategy
 	if strat == "" {
 		strat = DefaultStrategy
@@ -471,26 +520,102 @@ func (e *Engine) Query(q Query) (*Record, error) {
 	if f, ok := e.inflight[key]; ok {
 		e.sfMu.Unlock()
 		e.deduped.Add(1)
-		f.wg.Wait()
-		return f.rec, f.err
+		select {
+		case <-f.done:
+			return f.rec, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
-	f := &flight{}
-	f.wg.Add(1)
+	f := &flight{done: make(chan struct{})}
 	e.inflight[key] = f
 	e.sfMu.Unlock()
 
-	f.rec, f.err = e.answer(q, strat)
+	f.rec, f.err = e.answer(ctx, q, strat)
 
 	e.sfMu.Lock()
 	delete(e.inflight, key)
 	e.sfMu.Unlock()
-	f.wg.Done()
+	close(f.done)
 	return f.rec, f.err
 }
 
+// resolveStrategy maps a strategy name to its runnable form against the
+// given profile state, walking the degradation ladder when the state
+// cannot support the request: a profile-backed strategy without a
+// loaded profile store answers as min-flops with the record stamped
+// requested_strategy + degraded="no-profile". Unknown names are errors,
+// never degraded — a typo must not silently serve the wrong strategy.
+func (e *Engine) resolveStrategy(strat string, st *profileState) (strategyRun, error) {
+	run := strategyRun{name: strat, requested: strat}
+	switch strat {
+	case "min-flops":
+		run.s = selection.MinFlops{}
+	case "oracle":
+		run.s = selection.Oracle{Timer: e.timer}
+		run.timed = true
+	case "min-predicted":
+		if st == nil {
+			return e.degradeRun(run, DegradedNoProfile), nil
+		}
+		run.s = st.predicted
+		run.profileID = st.info.ID
+	case "adaptive":
+		if st == nil {
+			return e.degradeRun(run, DegradedNoProfile), nil
+		}
+		run.profileID = st.info.ID
+		// Adaptive is built per query: the outcome lookup needs the
+		// resolved expression name, and counting informed choices at the
+		// point of observation keeps the stats honest under concurrency.
+		run.perQuery = func(exprName string) selection.Strategy {
+			e.adaptiveQueries.Add(1)
+			return selection.Adaptive{
+				Prior:  st.predicted,
+				Radius: e.adaptiveRadius,
+				Observe: func(inst expr.Instance) []selection.Observation {
+					obs := e.outcomes.Near(exprName, inst, e.adaptiveRadius)
+					if len(obs) > 0 {
+						e.adaptiveInformed.Add(1)
+					}
+					return obs
+				},
+			}
+		}
+	default:
+		return strategyRun{}, fmt.Errorf("engine: unknown strategy %q (registered: %s)", strat, strings.Join(e.Strategies(), ", "))
+	}
+	return run, nil
+}
+
+// Degradation reasons stamped into Record.Degraded.
+const (
+	// DegradedNoProfile: a profile-backed strategy was requested but no
+	// profile store is loaded.
+	DegradedNoProfile = "no-profile"
+	// DegradedDeadline: the request deadline expired while a timed
+	// strategy was measuring, so the engine answered from FLOP counts
+	// instead of blocking past the deadline.
+	DegradedDeadline = "deadline"
+)
+
+// degradeRun drops a run to the bottom of the ladder (min-flops: always
+// available, never measures) and records why.
+func (e *Engine) degradeRun(run strategyRun, reason string) strategyRun {
+	run.name = "min-flops"
+	run.degraded = reason
+	run.s = selection.MinFlops{}
+	run.perQuery = nil
+	run.timed = false
+	run.profileID = ""
+	return run
+}
+
 // answer runs the cached pipeline for one query: bind (or fetch) the
-// algorithm set, apply the strategy, render the record.
-func (e *Engine) answer(q Query, strat string) (rec *Record, err error) {
+// algorithm set, apply the strategy, render the record. The profile
+// state is loaded once at entry — a concurrent ReloadProfiles swaps the
+// pointer without affecting this query.
+func (e *Engine) answer(ctx context.Context, q Query, strat string) (rec *Record, err error) {
 	defer func() {
 		// The expression layer panics on malformed custom expressions;
 		// a serving engine turns that into a query error instead of
@@ -499,11 +624,14 @@ func (e *Engine) answer(q Query, strat string) (rec *Record, err error) {
 			rec, err = nil, fmt.Errorf("engine: query %s%v failed: %v", q.Expr, q.Instance, r)
 		}
 	}()
-	e.mu.Lock()
-	entry, ok := e.strategies[strat]
-	e.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("engine: unknown strategy %q (registered: %s)", strat, strings.Join(e.Strategies(), ", "))
+	// Chaos hook: the suite arms "engine.query" to inject latency or
+	// failures into the selection path of an unmodified binary.
+	if err := faultinject.FireCtx(ctx, "engine.query"); err != nil {
+		return nil, err
+	}
+	run, err := e.resolveStrategy(strat, e.prof.Load())
+	if err != nil {
+		return nil, err
 	}
 	x, err := e.lookup(q.Expr, true)
 	if err != nil {
@@ -513,23 +641,30 @@ func (e *Engine) answer(q Query, strat string) (rec *Record, err error) {
 	if err != nil {
 		return nil, err
 	}
-	s := entry.s
-	if entry.perQuery != nil {
-		s = entry.perQuery(x.Name())
-	}
-	choose := func() int {
-		if is, ok := s.(selection.InstanceStrategy); ok {
-			return is.ChooseFor(q.Instance, algs)
-		}
-		return s.Choose(algs)
-	}
 	var pick int
-	if entry.timed {
+	if run.timed {
 		e.execMu.Lock()
-		pick = choose()
+		pick, err = chooseTimed(ctx, run.s, algs)
 		e.execMu.Unlock()
+		if err != nil {
+			if ctx.Err() == nil {
+				return nil, err
+			}
+			// The deadline expired mid-measurement: a FLOPs-only answer
+			// now beats a measured answer never.
+			run = e.degradeRun(run, DegradedDeadline)
+			pick = run.s.Choose(algs)
+		}
 	} else {
-		pick = choose()
+		s := run.s
+		if run.perQuery != nil {
+			s = run.perQuery(x.Name())
+		}
+		if is, ok := s.(selection.InstanceStrategy); ok {
+			pick = is.ChooseFor(q.Instance, algs)
+		} else {
+			pick = s.Choose(algs)
+		}
 	}
 	cands := make([]Candidate, len(algs))
 	for i := range algs {
@@ -538,16 +673,28 @@ func (e *Engine) answer(q Query, strat string) (rec *Record, err error) {
 	rec = &Record{
 		Expr:          strings.ToLower(q.Expr),
 		Instance:      q.Instance.Clone(),
-		Strategy:      strat,
+		Strategy:      run.name,
 		Backend:       e.timer.Exec.Name(),
 		Selected:      cands[pick],
 		NumAlgorithms: len(algs),
+		Profile:       run.profileID,
 		Candidates:    cands,
 	}
-	if entry.profiled && e.profInfo != nil {
-		rec.Profile = e.profInfo.ID
+	if run.degraded != "" {
+		e.degraded.Add(1)
+		rec.Requested = run.requested
+		rec.Degraded = run.degraded
 	}
 	return rec, nil
+}
+
+// chooseTimed runs a timed strategy under the context when it supports
+// cancellation, so a deadline aborts within one measurement repetition.
+func chooseTimed(ctx context.Context, s selection.Strategy, algs []expr.Algorithm) (int, error) {
+	if cs, ok := s.(selection.ContextStrategy); ok && ctx.Done() != nil {
+		return cs.ChooseCtx(ctx, algs)
+	}
+	return s.Choose(algs), nil
 }
 
 // batchWorkers bounds QueryBatch's concurrency.
@@ -562,10 +709,17 @@ func batchWorkers(n int) int {
 	return w
 }
 
-// QueryBatch answers the queries concurrently (identical queries are
-// deduplicated by the singleflight layer) and returns the results in
-// request order.
+// QueryBatch answers the queries concurrently with no deadline; see
+// QueryBatchCtx.
 func (e *Engine) QueryBatch(qs []Query) []BatchResult {
+	return e.QueryBatchCtx(context.Background(), qs)
+}
+
+// QueryBatchCtx answers the queries concurrently under one shared
+// context (identical queries are deduplicated by the singleflight
+// layer) and returns the results in request order. A context that
+// expires mid-batch fails the not-yet-answered queries with its error.
+func (e *Engine) QueryBatchCtx(ctx context.Context, qs []Query) []BatchResult {
 	out := make([]BatchResult, len(qs))
 	if len(qs) == 0 {
 		return out
@@ -578,7 +732,7 @@ func (e *Engine) QueryBatch(qs []Query) []BatchResult {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rec, err := e.Query(qs[i])
+			rec, err := e.QueryCtx(ctx, qs[i])
 			out[i] = BatchResult{Record: rec, Err: err}
 		}(i)
 	}
@@ -600,10 +754,14 @@ func (e *Engine) Stats() Stats {
 	s.Queries = e.queries.Load()
 	s.Deduped = e.deduped.Load()
 	s.Feedback = e.feedback.Load()
-	s.FeedbackInstances = e.outcomes.size()
+	s.FeedbackInstances = e.outcomes.Size()
 	s.AdaptiveQueries = e.adaptiveQueries.Load()
 	s.AdaptiveInformed = e.adaptiveInformed.Load()
-	s.Profile = e.profInfo
+	s.DegradedQueries = e.degraded.Load()
+	s.FeedbackRestored = e.restored.Load()
+	if st := e.prof.Load(); st != nil {
+		s.Profile = st.info
+	}
 	s.Enumerations = ir.Enumerations()
 	s.Backend = e.timer.Exec.Name()
 	return s

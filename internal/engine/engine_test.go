@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -140,9 +141,17 @@ func TestEngineQueryErrors(t *testing.T) {
 	if _, err := e.Query(Query{Expr: "aatb", Instance: expr.Instance{4, 5, 6}, Strategy: "magic"}); err == nil {
 		t.Error("unknown strategy accepted")
 	}
-	// min-predicted requires profiles.
-	if _, err := e.Query(Query{Expr: "aatb", Instance: expr.Instance{4, 5, 6}, Strategy: "min-predicted"}); err == nil {
-		t.Error("min-predicted accepted without profiles")
+	// min-predicted requires profiles: without them the answer degrades
+	// to min-flops with the record stamped, rather than erroring.
+	rec, err := e.Query(Query{Expr: "aatb", Instance: expr.Instance{4, 5, 6}, Strategy: "min-predicted"})
+	if err != nil {
+		t.Fatalf("min-predicted without profiles: %v", err)
+	}
+	if rec.Strategy != "min-flops" || rec.Requested != "min-predicted" || rec.Degraded != DegradedNoProfile {
+		t.Errorf("degraded record not stamped: %+v", rec)
+	}
+	if s := e.Stats(); s.DegradedQueries != 1 {
+		t.Errorf("degraded counter %d, want 1", s.DegradedQueries)
 	}
 }
 
@@ -311,8 +320,7 @@ func TestEngineSingleflightDedup(t *testing.T) {
 	key := "aatb|(10,20,30)|min-flops"
 
 	// Plant an in-flight entry, as if another goroutine were computing.
-	f := &flight{}
-	f.wg.Add(1)
+	f := &flight{done: make(chan struct{})}
 	e.sfMu.Lock()
 	e.inflight[key] = f
 	e.sfMu.Unlock()
@@ -340,7 +348,7 @@ func TestEngineSingleflightDedup(t *testing.T) {
 	default:
 	}
 
-	want, err := e.answer(q, "min-flops")
+	want, err := e.answer(context.Background(), q, "min-flops")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +356,7 @@ func TestEngineSingleflightDedup(t *testing.T) {
 	e.sfMu.Lock()
 	delete(e.inflight, key)
 	e.sfMu.Unlock()
-	f.wg.Done()
+	close(f.done)
 
 	if got := <-done; !reflect.DeepEqual(got, want) {
 		t.Fatalf("deduplicated query returned %+v, want %+v", got, want)

@@ -3,17 +3,17 @@ package engine
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"lamb/internal/expr"
-	"lamb/internal/selection"
 )
 
 // The feedback path: callers report how a served selection actually
-// performed, the engine records the outcome in a concurrency-safe store,
+// performed, the engine records the outcome in a concurrency-safe store
+// (lamb/internal/outcomes — bounded, time-decayed, snapshot/restorable),
 // and the adaptive strategy folds nearby outcomes back into later
 // choices (the online decision process of arXiv:2209.03258). `lamb
-// serve` exposes it as POST /api/feedback.
+// serve` exposes it as POST /api/feedback and persists the store across
+// restarts with -outcomes.
 
 // Feedback is one measured outcome for a previously served selection:
 // running algorithm Algorithm (the paper's 1-based index, as in
@@ -34,7 +34,7 @@ type Feedback struct {
 // outcomes, so it rejects them rather than silently hoarding data that
 // cannot influence any answer.
 func (e *Engine) Feedback(fb Feedback) error {
-	if e.profInfo == nil {
+	if e.prof.Load() == nil {
 		return fmt.Errorf("engine: feedback has no consumer: the adaptive strategy needs a profile store (serve with -profile)")
 	}
 	if fb.Seconds <= 0 || math.IsNaN(fb.Seconds) || math.IsInf(fb.Seconds, 0) {
@@ -52,171 +52,7 @@ func (e *Engine) Feedback(fb Feedback) error {
 		return fmt.Errorf("engine: feedback algorithm %d out of range [1, %d] for %s%v",
 			fb.Algorithm, len(algs), x.Name(), fb.Instance)
 	}
-	e.outcomes.add(x.Name(), fb.Instance, fb.Algorithm, fb.Seconds)
+	e.outcomes.Add(x.Name(), fb.Instance, fb.Algorithm, fb.Seconds)
 	e.feedback.Add(1)
 	return nil
-}
-
-// algOutcome aggregates the measurements reported for one algorithm at
-// one instance as a running mean.
-type algOutcome struct {
-	count int
-	mean  float64
-}
-
-// outcome is everything recorded at one (expression, instance) point.
-// The instance itself is represented twice over — the map key
-// (inst.String()) for exact lookup and coords for distance — so the
-// vector is not stored a third time.
-type outcome struct {
-	coords []float64 // log-shape coordinates, precomputed
-	algs   map[int]*algOutcome
-	// seq is the store's counter value at the last touch — feedback
-	// recorded or evidence served to an adaptive query — the eviction
-	// order once the store is full.
-	seq uint64
-}
-
-// outcomeStore is the concurrency-safe feedback store: outcomes per
-// expression, indexed by instance, searched by log-shape distance.
-// Like the engine's other layers it is bounded — maxPoints distinct
-// (expression, instance) records, least-recently-touched evicted — so
-// abusive or merely long-lived feedback traffic cannot grow it without
-// limit. The bound also caps near()'s linear scan.
-type outcomeStore struct {
-	mu        sync.Mutex
-	byExpr    map[string]map[string]*outcome
-	points    int // distinct (expression, instance) records
-	maxPoints int
-	seq       uint64
-}
-
-func newOutcomeStore(maxPoints int) *outcomeStore {
-	return &outcomeStore{byExpr: make(map[string]map[string]*outcome), maxPoints: maxPoints}
-}
-
-// logCoords maps an instance into log-shape space, where the adaptive
-// neighbourhood is defined: ratios of sizes, not absolute differences,
-// determine whether two instances behave alike.
-func logCoords(inst expr.Instance) []float64 {
-	out := make([]float64, len(inst))
-	for i, d := range inst {
-		out[i] = math.Log(float64(d))
-	}
-	return out
-}
-
-// logDistance is the Euclidean distance between two log-shape points.
-// Instances of different arity are infinitely far apart.
-func logDistance(a, b []float64) float64 {
-	if len(a) != len(b) {
-		return math.Inf(1)
-	}
-	var sum float64
-	for i := range a {
-		d := a[i] - b[i]
-		sum += d * d
-	}
-	return math.Sqrt(sum)
-}
-
-// add records one measurement, evicting the least-recently-touched
-// record when the store is at capacity.
-func (st *outcomeStore) add(exprName string, inst expr.Instance, alg int, seconds float64) {
-	key := inst.String()
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	insts := st.byExpr[exprName]
-	if insts == nil {
-		insts = make(map[string]*outcome)
-		st.byExpr[exprName] = insts
-	}
-	o := insts[key]
-	if o == nil {
-		if st.points >= st.maxPoints {
-			// Eviction may remove this expression's last record and with
-			// it the per-expression map itself — re-fetch so the insert
-			// below never lands in an orphaned map.
-			st.evictOldest()
-			if insts = st.byExpr[exprName]; insts == nil {
-				insts = make(map[string]*outcome)
-				st.byExpr[exprName] = insts
-			}
-		}
-		o = &outcome{coords: logCoords(inst), algs: make(map[int]*algOutcome)}
-		insts[key] = o
-		st.points++
-	}
-	st.seq++
-	o.seq = st.seq
-	ao := o.algs[alg]
-	if ao == nil {
-		ao = &algOutcome{}
-		o.algs[alg] = ao
-	}
-	ao.count++
-	ao.mean += (seconds - ao.mean) / float64(ao.count)
-}
-
-// evictOldest drops the record with the smallest touch sequence. A
-// linear scan is fine: it runs only when the store is full, over at
-// most maxPoints records. Callers hold the write lock.
-func (st *outcomeStore) evictOldest() {
-	var (
-		oldExpr, oldKey string
-		oldSeq          uint64
-		found           bool
-	)
-	for exprName, insts := range st.byExpr {
-		for key, o := range insts {
-			if !found || o.seq < oldSeq {
-				oldExpr, oldKey, oldSeq, found = exprName, key, o.seq, true
-			}
-		}
-	}
-	if found {
-		delete(st.byExpr[oldExpr], oldKey)
-		if len(st.byExpr[oldExpr]) == 0 {
-			delete(st.byExpr, oldExpr)
-		}
-		st.points--
-	}
-}
-
-// near returns the aggregated observations recorded within radius of
-// inst in log-shape space — the adaptive strategy's evidence. Serving
-// a record counts as a touch: evidence that is actively informing
-// queries must not be evicted in favour of stale, never-queried
-// records, so matches have their eviction seq refreshed — reads mutate,
-// which is why the store uses a plain mutex.
-func (st *outcomeStore) near(exprName string, inst expr.Instance, radius float64) []selection.Observation {
-	coords := logCoords(inst)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	var out []selection.Observation
-	for _, o := range st.byExpr[exprName] {
-		d := logDistance(coords, o.coords)
-		if d > radius {
-			continue
-		}
-		st.seq++
-		o.seq = st.seq
-		for alg, ao := range o.algs {
-			out = append(out, selection.Observation{
-				Algorithm: alg,
-				Seconds:   ao.mean,
-				Count:     ao.count,
-				Distance:  d,
-			})
-		}
-	}
-	return out
-}
-
-// size returns the number of distinct recorded (expression, instance)
-// points.
-func (st *outcomeStore) size() int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.points
 }

@@ -168,9 +168,14 @@ func TestEngineFeedbackValidation(t *testing.T) {
 
 func TestEngineAdaptiveUnavailableWithoutProfiles(t *testing.T) {
 	e := New(Config{})
-	_, err := e.Query(Query{Expr: "aatb", Instance: expr.Instance{10, 20, 30}, Strategy: "adaptive"})
-	if err == nil {
-		t.Fatal("adaptive without profiles accepted")
+	rec, err := e.Query(Query{Expr: "aatb", Instance: expr.Instance{10, 20, 30}, Strategy: "adaptive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without profiles, adaptive degrades to min-flops with the record
+	// stamped rather than erroring.
+	if rec.Strategy != "min-flops" || rec.Requested != "adaptive" || rec.Degraded != DegradedNoProfile {
+		t.Fatalf("degraded record not stamped: %+v", rec)
 	}
 	// Without profiles there is no adaptive strategy to consume
 	// outcomes, so feedback is rejected rather than silently hoarded.
@@ -199,10 +204,10 @@ func TestEngineFeedbackStoreBounded(t *testing.T) {
 	}
 	// The survivors are the most recently touched instances: an old one
 	// no longer informs an adaptive query, a fresh one still does.
-	if obs := e.outcomes.near("AATB", expr.Instance{20, 514, 768}, 0.01); len(obs) != 0 {
+	if obs := e.outcomes.Near("AATB", expr.Instance{20, 514, 768}, 0.01); len(obs) != 0 {
 		t.Fatalf("evicted record still observable: %v", obs)
 	}
-	if obs := e.outcomes.near("AATB", expr.Instance{49, 514, 768}, 0.01); len(obs) == 0 {
+	if obs := e.outcomes.Near("AATB", expr.Instance{49, 514, 768}, 0.01); len(obs) == 0 {
 		t.Fatal("recent record missing")
 	}
 }
@@ -229,7 +234,7 @@ func TestEngineFeedbackQueryTouchPreventsEviction(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if obs := e.outcomes.near("AATB", hot, 0.01); len(obs) != 1 {
+	if obs := e.outcomes.Near("AATB", hot, 0.01); len(obs) != 1 {
 		t.Fatalf("actively queried record was evicted: %v", obs)
 	}
 }
@@ -252,10 +257,10 @@ func TestEngineFeedbackEvictionAcrossExpressions(t *testing.T) {
 	if got := e.Stats().FeedbackInstances; got != 2 {
 		t.Fatalf("store holds %d records, want 2", got)
 	}
-	if obs := e.outcomes.near("AATB", expr.Instance{120, 200, 300}, 0.01); len(obs) != 1 {
+	if obs := e.outcomes.Near("AATB", expr.Instance{120, 200, 300}, 0.01); len(obs) != 1 {
 		t.Fatalf("record inserted after same-expression eviction not observable: %v", obs)
 	}
-	if obs := e.outcomes.near("AATB", expr.Instance{80, 514, 768}, 0.01); len(obs) != 0 {
+	if obs := e.outcomes.Near("AATB", expr.Instance{80, 514, 768}, 0.01); len(obs) != 0 {
 		t.Fatalf("evicted record still observable: %v", obs)
 	}
 }

@@ -1,0 +1,47 @@
+package engine
+
+import (
+	"lamb/internal/expr"
+	"lamb/internal/outcomes"
+)
+
+// Durability of the feedback memory: the engine can snapshot its
+// outcome store to the versioned JSON schema of lamb/internal/outcomes
+// and restore a snapshot at boot, so the adaptive strategy's
+// accumulated evidence survives restarts. `lamb serve -outcomes FILE`
+// drives both ends.
+
+// SnapshotOutcomes captures the current outcome store, decayed to now
+// and tagged with the loaded profile store's provenance.
+func (e *Engine) SnapshotOutcomes() *outcomes.Snapshot {
+	profileID := ""
+	if st := e.prof.Load(); st != nil {
+		profileID = st.info.ID
+	}
+	return e.outcomes.Snapshot(profileID)
+}
+
+// RestoreOutcomes merges a (structurally validated) snapshot into the
+// outcome store. Every record is re-validated semantically against this
+// process's registry — the expression must resolve, the instance must
+// validate, and the algorithm index must be within the bound set — and
+// re-keyed under the expression's canonical name, so a snapshot from a
+// boot with different custom expressions restores what it can and skips
+// the rest instead of failing or hoarding unreachable records. Returns
+// (restored, skipped) outcome counts; restored outcomes are reported in
+// Stats.FeedbackRestored.
+func (e *Engine) RestoreOutcomes(s *outcomes.Snapshot) (restored, skipped int) {
+	restored, skipped = e.outcomes.Restore(s, func(name string, inst expr.Instance, alg int) (string, bool) {
+		x, err := e.lookup(name, false)
+		if err != nil {
+			return "", false
+		}
+		algs, err := e.algorithmsFor(x, inst)
+		if err != nil || alg < 1 || alg > len(algs) {
+			return "", false
+		}
+		return x.Name(), true
+	})
+	e.restored.Add(uint64(restored))
+	return restored, skipped
+}

@@ -15,6 +15,8 @@
 package exec
 
 import (
+	"context"
+
 	"lamb/internal/expr"
 	"lamb/internal/kernels"
 	"lamb/internal/stats"
@@ -87,6 +89,38 @@ func (t *Timer) MeasureAlgorithm(alg *expr.Algorithm) Measurement {
 		m.PerCall[i] = stats.Median(perCall[i])
 	}
 	return m
+}
+
+// MeasureAlgorithmCtx is MeasureAlgorithm made cancellable for serving:
+// the context is checked between repetitions (never inside one — a
+// repetition's timed region stays allocation- and branch-identical to
+// the paper's protocol), so a request deadline aborts a measurement
+// within one repetition's duration. On cancellation the partial
+// measurement is discarded and ctx.Err() returned.
+func (t *Timer) MeasureAlgorithmCtx(ctx context.Context, alg *expr.Algorithm) (Measurement, error) {
+	reps := t.reps()
+	totals := make([]float64, reps)
+	perCall := make([][]float64, len(alg.Calls))
+	for i := range perCall {
+		perCall[i] = make([]float64, reps)
+	}
+	for r := 0; r < reps; r++ {
+		if err := ctx.Err(); err != nil {
+			return Measurement{}, err
+		}
+		times := t.Exec.TimeAlgorithm(alg, uint64(r))
+		var sum float64
+		for i, ct := range times {
+			perCall[i][r] = ct
+			sum += ct
+		}
+		totals[r] = sum
+	}
+	m := Measurement{Total: stats.Median(totals), PerCall: make([]float64, len(alg.Calls))}
+	for i := range perCall {
+		m.PerCall[i] = stats.Median(perCall[i])
+	}
+	return m, nil
 }
 
 // MeasureAll times every algorithm in the slice.

@@ -1,0 +1,209 @@
+// Package faultinject provides named failpoints for chaos testing the
+// serving path. Production code plants a Fire (or FireCtx) call at each
+// site where an operator-visible failure can originate — a snapshot
+// write, a query handler, a profile reload — and the chaos suite arms
+// those points to inject errors, panics, and latency without patching
+// the code under test.
+//
+// Failpoints are disarmed by default and cost one atomic load per Fire
+// call (no allocation, no lock), so the hooks are safe to leave in the
+// serving path permanently. They are armed either programmatically
+// (tests call Arm/Disarm/Reset) or from the LAMB_FAULTPOINTS
+// environment variable at process start, so a chaos harness can inject
+// faults into an unmodified binary:
+//
+//	LAMB_FAULTPOINTS='outcomes.write=error;engine.query=sleep:200ms'
+//
+// Spec grammar (one per failpoint, ";"-separated in the env var):
+//
+//	error            Fire returns ErrInjected
+//	error:MESSAGE    Fire returns an error with the given message
+//	panic            Fire panics
+//	sleep:DURATION   Fire sleeps (FireCtx returns early on ctx cancel)
+//	sleep:DUR,error  sleep, then return ErrInjected
+//
+// Every firing is counted; Hits reports the count so tests can assert a
+// failpoint was actually reached.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by an armed "error" failpoint.
+var ErrInjected = errors.New("faultinject: injected failure")
+
+// EnvVar is the environment variable failpoints are armed from at
+// process start.
+const EnvVar = "LAMB_FAULTPOINTS"
+
+// point is one armed failpoint's parsed behaviour.
+type point struct {
+	sleep  time.Duration
+	err    error
+	panics bool
+	hits   atomic.Uint64
+}
+
+var (
+	// armed is the fast-path gate: false means no failpoint is armed
+	// anywhere and Fire returns immediately.
+	armed  atomic.Bool
+	mu     sync.Mutex
+	points = map[string]*point{}
+)
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := ArmFromSpec(spec); err != nil {
+			// A malformed env spec in a chaos run must be loud, not
+			// silently inert — the harness would report a vacuous pass.
+			panic(fmt.Sprintf("faultinject: %s: %v", EnvVar, err))
+		}
+	}
+}
+
+// ArmFromSpec arms failpoints from a ";"-separated name=spec list (the
+// LAMB_FAULTPOINTS grammar).
+func ArmFromSpec(spec string) error {
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, behaviour, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("failpoint %q: want name=spec", part)
+		}
+		if err := Arm(strings.TrimSpace(name), strings.TrimSpace(behaviour)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Arm installs (or replaces) the named failpoint with the given spec.
+func Arm(name, spec string) error {
+	if name == "" {
+		return fmt.Errorf("faultinject: empty failpoint name")
+	}
+	p, err := parseSpec(name, spec)
+	if err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	points[name] = p
+	armed.Store(true)
+	return nil
+}
+
+// parseSpec compiles one behaviour spec into a point.
+func parseSpec(name, spec string) (*point, error) {
+	p := &point{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		kind, arg, _ := strings.Cut(field, ":")
+		switch kind {
+		case "error":
+			if arg != "" {
+				p.err = fmt.Errorf("faultinject: %s", arg)
+			} else {
+				p.err = ErrInjected
+			}
+		case "panic":
+			p.panics = true
+		case "sleep":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: %s: bad sleep duration %q: %v", name, arg, err)
+			}
+			p.sleep = d
+		default:
+			return nil, fmt.Errorf("faultinject: %s: unknown behaviour %q (want error, panic, or sleep:DUR)", name, field)
+		}
+	}
+	return p, nil
+}
+
+// Disarm removes the named failpoint.
+func Disarm(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(points, name)
+	if len(points) == 0 {
+		armed.Store(false)
+	}
+}
+
+// Reset disarms every failpoint (test cleanup).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*point{}
+	armed.Store(false)
+}
+
+// Enabled reports whether any failpoint is armed.
+func Enabled() bool { return armed.Load() }
+
+// Hits returns how many times the named failpoint has fired since it
+// was armed.
+func Hits(name string) uint64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits.Load()
+	}
+	return 0
+}
+
+// Fire triggers the named failpoint: a no-op returning nil unless the
+// point is armed, in which case it sleeps, panics, or returns the
+// injected error per its spec.
+func Fire(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	return fire(context.Background(), name)
+}
+
+// FireCtx is Fire with a cancellable sleep: an armed sleep failpoint
+// returns ctx.Err() as soon as the context is done, so injected latency
+// cannot outlive a request deadline.
+func FireCtx(ctx context.Context, name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	return fire(ctx, name)
+}
+
+func fire(ctx context.Context, name string) error {
+	mu.Lock()
+	p, ok := points[name]
+	mu.Unlock()
+	if !ok {
+		return nil
+	}
+	p.hits.Add(1)
+	if p.sleep > 0 {
+		t := time.NewTimer(p.sleep)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if p.panics {
+		panic(fmt.Sprintf("faultinject: failpoint %s armed to panic", name))
+	}
+	return p.err
+}

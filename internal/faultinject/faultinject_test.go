@@ -1,0 +1,130 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFireIsNil(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("enabled with no failpoints")
+	}
+	if err := Fire("anything"); err != nil {
+		t.Fatalf("disarmed fire returned %v", err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = Fire("anything")
+	}); n != 0 {
+		t.Fatalf("disarmed Fire allocates %v per call", n)
+	}
+}
+
+func TestArmError(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("p", "error"); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("not enabled after arm")
+	}
+	if err := Fire("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := Fire("other"); err != nil {
+		t.Fatalf("unrelated failpoint fired: %v", err)
+	}
+	if Hits("p") != 1 {
+		t.Fatalf("hits = %d", Hits("p"))
+	}
+	Disarm("p")
+	if Enabled() {
+		t.Fatal("still enabled after disarm")
+	}
+	if err := Fire("p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestArmNamedError(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("p", "error:disk full"); err != nil {
+		t.Fatal(err)
+	}
+	err := Fire("p")
+	if err == nil || err.Error() != "faultinject: disk full" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestArmPanic(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("p", "panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	_ = Fire("p")
+}
+
+func TestSleepThenError(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("p", "sleep:20ms,error"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Fire("p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("slept only %v", d)
+	}
+}
+
+func TestFireCtxCancelsSleep(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := Arm("p", "sleep:10s"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := FireCtx(ctx, "p")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("sleep was not cancelled (%v)", d)
+	}
+}
+
+func TestArmFromSpec(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	if err := ArmFromSpec("a=error; b=sleep:1ms ;; c=error:x"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "c"} {
+		if err := Fire(name); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	if err := Fire("b"); err != nil {
+		t.Errorf("b: %v", err)
+	}
+	for _, bad := range []string{"noequals", "x=explode", "x=sleep:forever"} {
+		if err := ArmFromSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

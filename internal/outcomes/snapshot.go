@@ -1,0 +1,259 @@
+// Outcome-store persistence: a versioned JSON schema, mirroring
+// lamb/internal/profile's store format, that makes the feedback memory
+// a durable artifact. `lamb serve -outcomes FILE` restores the store at
+// boot and snapshots it periodically and at shutdown (atomic
+// temp-file+rename, so a crash mid-write never corrupts the last good
+// snapshot); a SIGKILL loses at most one snapshot interval of feedback.
+//
+// The file format is one JSON object:
+//
+//	{
+//	  "schema_version": 1,
+//	  "created_at": "2026-08-07T12:00:00Z",
+//	  "created_unix": 1786190400.0,
+//	  "half_life_seconds": 3600,
+//	  "profile": "PROFILE.json",
+//	  "records": [
+//	    {"expr": "AATB", "instance": [80,514,768], "outcomes": [
+//	      {"algorithm": 2, "count": 3, "weight": 2.71, "mean": 0.0004}
+//	    ]},
+//	    ...
+//	  ]
+//	}
+//
+// Weights are decayed to the snapshot moment before encoding, and on
+// restore the decay clock resumes from created_unix — so downtime
+// itself decays the restored evidence, exactly as if the process had
+// stayed up. Counts, weights, and means are serialised as float64
+// through encoding/json, whose shortest round-trip representation is
+// exact: a restored store serves bit-for-bit the evidence the snapshot
+// held (pinned by snapshot_test.go).
+package outcomes
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"lamb/internal/expr"
+	"lamb/internal/faultinject"
+)
+
+// SchemaVersion is the version of the snapshot file format this package
+// writes and accepts. Bump it on incompatible schema changes; Decode
+// rejects mismatching files rather than misreading them.
+const SchemaVersion = 1
+
+// Snapshot is the serialised form of a Store: every record's decayed
+// evidence as of CreatedUnix.
+type Snapshot struct {
+	SchemaVersion int `json:"schema_version"`
+	// CreatedAt is the human-readable RFC 3339 snapshot timestamp;
+	// CreatedUnix is the same moment as unix seconds, the value the
+	// decay clock resumes from on restore.
+	CreatedAt   string  `json:"created_at,omitempty"`
+	CreatedUnix float64 `json:"created_unix"`
+	// HalfLifeSeconds records the decay configuration the weights were
+	// accumulated under (informational; the restoring store keeps its
+	// own configuration).
+	HalfLifeSeconds float64 `json:"half_life_seconds,omitempty"`
+	// Profile is the provenance tag of the profile store the engine was
+	// serving when the snapshot was taken, so an operator can tell which
+	// prior the recorded outcomes were blended against.
+	Profile string           `json:"profile,omitempty"`
+	Records []SnapshotRecord `json:"records"`
+}
+
+// SnapshotRecord is one (expression, instance) point's outcomes.
+type SnapshotRecord struct {
+	Expr     string            `json:"expr"`
+	Instance expr.Instance     `json:"instance"`
+	Outcomes []SnapshotOutcome `json:"outcomes"`
+}
+
+// SnapshotOutcome is one algorithm's aggregated evidence.
+type SnapshotOutcome struct {
+	// Algorithm is the paper's 1-based index into the instance's set.
+	Algorithm int `json:"algorithm"`
+	// Count is the raw number of measurements ever recorded (undecayed).
+	Count int `json:"count"`
+	// Weight is the decayed pseudo-count as of the snapshot moment.
+	Weight float64 `json:"weight"`
+	// Mean is the weighted mean of the reported seconds.
+	Mean float64 `json:"mean"`
+}
+
+// Snapshot captures the store's current contents, with every weight
+// decayed to the snapshot moment. Records are sorted (expression, then
+// instance) so snapshots are deterministic byte-for-byte for a given
+// store state and clock.
+func (st *Store) Snapshot(profileID string) *Snapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := st.now()
+	snap := &Snapshot{
+		SchemaVersion:   SchemaVersion,
+		CreatedAt:       time.Unix(0, int64(now*1e9)).UTC().Format(time.RFC3339),
+		CreatedUnix:     now,
+		HalfLifeSeconds: st.halfLife,
+		Profile:         profileID,
+		Records:         []SnapshotRecord{},
+	}
+	for exprName, insts := range st.byExpr {
+		for _, rec := range insts {
+			sr := SnapshotRecord{Expr: exprName, Instance: rec.inst.Clone()}
+			for alg, ao := range rec.algs {
+				ao.decayTo(now, st.halfLife)
+				sr.Outcomes = append(sr.Outcomes, SnapshotOutcome{
+					Algorithm: alg, Count: ao.count, Weight: ao.weight, Mean: ao.mean,
+				})
+			}
+			sort.Slice(sr.Outcomes, func(i, j int) bool {
+				return sr.Outcomes[i].Algorithm < sr.Outcomes[j].Algorithm
+			})
+			snap.Records = append(snap.Records, sr)
+		}
+	}
+	sort.Slice(snap.Records, func(i, j int) bool {
+		if snap.Records[i].Expr != snap.Records[j].Expr {
+			return snap.Records[i].Expr < snap.Records[j].Expr
+		}
+		return snap.Records[i].Instance.String() < snap.Records[j].Instance.String()
+	})
+	return snap
+}
+
+// Validate checks a decoded snapshot's structural invariants: schema
+// version, finite positive weights and means, positive dimensions and
+// algorithm indices. Semantic validation — does the expression exist,
+// is the algorithm index within its set — is the restoring engine's
+// job, which knows the registry.
+func (s *Snapshot) Validate() error {
+	if s.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("outcomes: snapshot has schema version %d, this build reads %d",
+			s.SchemaVersion, SchemaVersion)
+	}
+	for _, rec := range s.Records {
+		if rec.Expr == "" {
+			return fmt.Errorf("outcomes: snapshot record with empty expression")
+		}
+		if len(rec.Instance) == 0 {
+			return fmt.Errorf("outcomes: snapshot record %s has no instance", rec.Expr)
+		}
+		for _, d := range rec.Instance {
+			if d <= 0 {
+				return fmt.Errorf("outcomes: snapshot record %s%v has non-positive dimension", rec.Expr, rec.Instance)
+			}
+		}
+		for _, o := range rec.Outcomes {
+			switch {
+			case o.Algorithm < 1:
+				return fmt.Errorf("outcomes: snapshot record %s%v has algorithm index %d < 1", rec.Expr, rec.Instance, o.Algorithm)
+			case o.Count < 1:
+				return fmt.Errorf("outcomes: snapshot record %s%v algorithm %d has count %d < 1", rec.Expr, rec.Instance, o.Algorithm, o.Count)
+			case !(o.Weight > 0) || math.IsInf(o.Weight, 0):
+				return fmt.Errorf("outcomes: snapshot record %s%v algorithm %d has weight %v, want a positive finite value", rec.Expr, rec.Instance, o.Algorithm, o.Weight)
+			case !(o.Mean > 0) || math.IsInf(o.Mean, 0):
+				return fmt.Errorf("outcomes: snapshot record %s%v algorithm %d has mean %v, want a positive finite duration", rec.Expr, rec.Instance, o.Algorithm, o.Mean)
+			}
+		}
+	}
+	return nil
+}
+
+// Restore merges the snapshot's records into the store. resolve maps a
+// record's expression name to its canonical store key and decides
+// semantic validity (nil keeps everything under the recorded name);
+// invalid records are skipped, not fatal — a snapshot may reference
+// custom expressions a particular boot did not register, and one stale
+// record must not discard the rest of the memory. The decay clock
+// resumes from the snapshot's creation time, so downtime decays
+// restored evidence. Returns (restored, skipped) outcome counts.
+func (st *Store) Restore(s *Snapshot, resolve func(exprName string, inst expr.Instance, algorithm int) (canonical string, ok bool)) (restored, skipped int) {
+	for _, rec := range s.Records {
+		for _, o := range rec.Outcomes {
+			name := rec.Expr
+			if resolve != nil {
+				canonical, ok := resolve(rec.Expr, rec.Instance, o.Algorithm)
+				if !ok {
+					skipped++
+					continue
+				}
+				if canonical != "" {
+					name = canonical
+				}
+			}
+			st.restore(name, rec.Instance, o, s.CreatedUnix)
+			restored++
+		}
+	}
+	return restored, skipped
+}
+
+// Encode writes the snapshot as JSON.
+func (s *Snapshot) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s)
+}
+
+// DecodeSnapshot reads and structurally validates a snapshot.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("outcomes: decoding snapshot: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// WriteFile saves the snapshot to path atomically: encoded to a temp
+// file in the same directory, then renamed over the target, so a
+// crashed writer (or the "outcomes.write" failpoint) never leaves a
+// truncated snapshot where the last good one was.
+func (s *Snapshot) WriteFile(path string) error {
+	if err := faultinject.Fire("outcomes.write"); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".outcomes-*.json")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.Encode(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// CreateTemp makes the file 0600; the snapshot is an operational
+	// artifact (inspected, copied between hosts), so widen to the
+	// conventional 0644 before the rename publishes it.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadFile loads and structurally validates a snapshot file.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := DecodeSnapshot(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

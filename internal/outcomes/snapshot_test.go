@@ -1,0 +1,187 @@
+package outcomes
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"lamb/internal/expr"
+	"lamb/internal/faultinject"
+)
+
+// TestSnapshotRoundTripExact is the satellite pin: snapshot → restore →
+// snapshot reproduces every record float64-exactly (like the profile
+// store), including fractional decayed weights.
+func TestSnapshotRoundTripExact(t *testing.T) {
+	st, now := frozenStore(64, time.Hour)
+	st.Add("AATB", expr.Instance{80, 514, 768}, 2, 0.0004)
+	st.Add("AATB", expr.Instance{80, 514, 768}, 2, 0.0007)
+	st.Add("AATB", expr.Instance{80, 514, 768}, 5, 0.31)
+	st.Add("GLS", expr.Instance{40, 30, 20, 10}, 1, 1.25e-5)
+	*now += 1234.5 // fractional decay: weights become irrational-ish floats
+	st.Add("AATB", expr.Instance{120, 200, 300}, 1, 0.99)
+
+	snap := st.Snapshot("PROFILE.json")
+	var buf bytes.Buffer
+	if err := snap.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, decoded) {
+		t.Fatalf("snapshot did not round-trip through JSON:\n%+v\n%+v", snap, decoded)
+	}
+
+	st2, now2 := frozenStore(64, time.Hour)
+	*now2 = *now
+	restored, skipped := st2.Restore(decoded, nil)
+	if restored != 4 || skipped != 0 {
+		t.Fatalf("restored %d skipped %d", restored, skipped)
+	}
+	again := st2.Snapshot("PROFILE.json")
+	if !reflect.DeepEqual(snap, again) {
+		t.Fatalf("re-snapshot after restore differs:\n%+v\n%+v", snap, again)
+	}
+	// The restored store serves the identical evidence.
+	want := st.Near("AATB", expr.Instance{80, 514, 768}, 0.01)
+	got := st2.Near("AATB", expr.Instance{80, 514, 768}, 0.01)
+	if len(want) != len(got) {
+		t.Fatalf("restored evidence differs: %v vs %v", want, got)
+	}
+}
+
+// TestSnapshotRestoreDecaysDowntime: evidence snapshotted at T and
+// restored at T+halfLife serves at half weight — downtime decays
+// exactly like uptime.
+func TestSnapshotRestoreDecaysDowntime(t *testing.T) {
+	st, now := frozenStore(16, time.Hour)
+	inst := expr.Instance{100, 200, 300}
+	st.Add("AATB", inst, 1, 1.0)
+	snap := st.Snapshot("")
+
+	st2, now2 := frozenStore(16, time.Hour)
+	*now2 = *now + 3600 // restart one half-life later
+	st2.Restore(snap, nil)
+	obs := st2.Near("AATB", inst, 0.01)
+	if len(obs) != 1 || obs[0].Weight != 0.5 {
+		t.Fatalf("downtime did not decay restored weight: %+v", obs)
+	}
+}
+
+func TestSnapshotRestoreKeepFilter(t *testing.T) {
+	st, _ := frozenStore(16, 0)
+	st.Add("AATB", expr.Instance{10, 20, 30}, 1, 1.0)
+	st.Add("NOPE", expr.Instance{5, 5}, 1, 1.0)
+	snap := st.Snapshot("")
+
+	st2, _ := frozenStore(16, 0)
+	restored, skipped := st2.Restore(snap, func(name string, inst expr.Instance, alg int) (string, bool) {
+		return name, name == "AATB"
+	})
+	if restored != 1 || skipped != 1 {
+		t.Fatalf("restored %d skipped %d", restored, skipped)
+	}
+	if st2.Size() != 1 {
+		t.Fatalf("size %d", st2.Size())
+	}
+}
+
+func TestSnapshotValidateRejectsMalformed(t *testing.T) {
+	base := func() *Snapshot {
+		return &Snapshot{
+			SchemaVersion: SchemaVersion,
+			Records: []SnapshotRecord{{
+				Expr:     "AATB",
+				Instance: expr.Instance{10, 20, 30},
+				Outcomes: []SnapshotOutcome{{Algorithm: 1, Count: 1, Weight: 1, Mean: 0.5}},
+			}},
+		}
+	}
+	cases := map[string]func(*Snapshot){
+		"future schema":   func(s *Snapshot) { s.SchemaVersion = SchemaVersion + 1 },
+		"empty expr":      func(s *Snapshot) { s.Records[0].Expr = "" },
+		"no instance":     func(s *Snapshot) { s.Records[0].Instance = nil },
+		"zero dim":        func(s *Snapshot) { s.Records[0].Instance[1] = 0 },
+		"alg zero":        func(s *Snapshot) { s.Records[0].Outcomes[0].Algorithm = 0 },
+		"zero count":      func(s *Snapshot) { s.Records[0].Outcomes[0].Count = 0 },
+		"negative weight": func(s *Snapshot) { s.Records[0].Outcomes[0].Weight = -1 },
+		"NaN weight":      func(s *Snapshot) { s.Records[0].Outcomes[0].Weight = nan() },
+		"zero mean":       func(s *Snapshot) { s.Records[0].Outcomes[0].Mean = 0 },
+		"inf mean":        func(s *Snapshot) { s.Records[0].Outcomes[0].Mean = inf() },
+	}
+	for name, mutate := range cases {
+		s := base()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }
+
+func TestSnapshotDecodeRejectsGarbage(t *testing.T) {
+	for name, body := range map[string]string{
+		"not json":  "}{",
+		"truncated": `{"schema_version": 1, "records": [`,
+		"oldage":    `{"schema_version": 99, "records": []}`,
+	} {
+		if _, err := DecodeSnapshot(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSnapshotWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "outcomes.json")
+	st, _ := frozenStore(16, 0)
+	st.Add("AATB", expr.Instance{10, 20, 30}, 1, 1.0)
+	if err := st.Snapshot("p").WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	first, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Records) != 1 || first.Profile != "p" {
+		t.Fatalf("snapshot %+v", first)
+	}
+
+	// An injected write failure must leave the previous snapshot intact
+	// and no temp litter behind.
+	if err := faultinject.Arm("outcomes.write", "error"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Reset)
+	st.Add("AATB", expr.Instance{11, 21, 31}, 1, 2.0)
+	if err := st.Snapshot("p").WriteFile(path); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("armed write returned %v", err)
+	}
+	faultinject.Reset()
+	after, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, after) {
+		t.Fatal("failed write corrupted the previous snapshot")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp litter in %s: %v", dir, entries)
+	}
+}

@@ -31,12 +31,25 @@ type InstanceStrategy interface {
 // Observation is one aggregated measured outcome: algorithm Algorithm
 // (the paper's 1-based index) took Seconds on average over Count
 // measurements at an instance Distance away from the queried one in
-// log-shape space.
+// log-shape space. Weight, when positive, is the time-decayed
+// pseudo-count the outcome store maintains (half-life decay on stale
+// evidence); when zero, the raw Count stands in — so sources without
+// decay keep working unchanged.
 type Observation struct {
 	Algorithm int
 	Seconds   float64
 	Count     int
+	Weight    float64
 	Distance  float64
+}
+
+// weight is the observation's effective evidence mass: the decayed
+// Weight when the source maintains one, otherwise the raw Count.
+func (o Observation) weight() float64 {
+	if o.Weight > 0 {
+		return o.Weight
+	}
+	return float64(o.Count)
 }
 
 // DefaultAdaptiveRadius is the log-shape distance scale at which
@@ -57,8 +70,9 @@ const DefaultPriorWeight = 1.0
 //	t̂ᵢ = (w₀·predictedᵢ + Σ wₒ·secondsₒ) / (w₀ + Σ wₒ)
 //
 // over the observations o for algorithm i near the queried instance,
-// with Gaussian distance weights wₒ = countₒ·exp(−(dₒ/Radius)²) and the
-// prior pseudo-count w₀ = PriorWeight. With no feedback it reduces to
+// with Gaussian distance weights wₒ = massₒ·exp(−(dₒ/Radius)²) — massₒ
+// the observation's decayed Weight (or raw Count when the source keeps
+// no decay) — and the prior pseudo-count w₀ = PriorWeight. With no feedback it reduces to
 // the prior exactly; as outcomes accumulate in an instance region the
 // measured times dominate and repeated traffic converges on the
 // empirically best algorithm there.
@@ -114,11 +128,11 @@ func (s Adaptive) ChooseFor(inst expr.Instance, algs []expr.Algorithm) int {
 		}
 		for _, o := range s.Observe(inst) {
 			i, ok := pos[o.Algorithm]
-			if !ok || o.Count <= 0 || o.Seconds <= 0 {
+			if !ok || o.weight() <= 0 || o.Seconds <= 0 {
 				continue
 			}
 			d := o.Distance / radius
-			w := float64(o.Count) * math.Exp(-d*d)
+			w := o.weight() * math.Exp(-d*d)
 			sumW[i] += w
 			sumWT[i] += w * o.Seconds
 		}

@@ -13,6 +13,7 @@
 package selection
 
 import (
+	"context"
 	"fmt"
 
 	"lamb/internal/exec"
@@ -112,6 +113,37 @@ func (s Oracle) Choose(algs []expr.Algorithm) int {
 		}
 	}
 	return best
+}
+
+// ContextStrategy is a Strategy whose choice can be cancelled: timed
+// strategies measure real wall time, so a serving engine with request
+// deadlines needs a way to abort mid-selection. ChooseCtx returns the
+// context's error when cancelled; the engine then degrades to a
+// FLOPs-only answer instead of blocking past the deadline.
+type ContextStrategy interface {
+	Strategy
+	ChooseCtx(ctx context.Context, algs []expr.Algorithm) (int, error)
+}
+
+// ChooseCtx implements ContextStrategy: each algorithm is measured
+// through the cancellable timer path, so a deadline aborts within one
+// repetition.
+func (s Oracle) ChooseCtx(ctx context.Context, algs []expr.Algorithm) (int, error) {
+	if len(algs) == 0 {
+		panic("selection: choose from empty set")
+	}
+	best := -1
+	bestT := 0.0
+	for i := range algs {
+		m, err := s.Timer.MeasureAlgorithmCtx(ctx, &algs[i])
+		if err != nil {
+			return -1, err
+		}
+		if best < 0 || m.Total < bestT {
+			best, bestT = i, m.Total
+		}
+	}
+	return best, nil
 }
 
 // Report summarises a strategy's behaviour over a set of instances.
