@@ -1,0 +1,281 @@
+package main
+
+// lamb loadtest — a closed-loop load generator against a running
+// `lamb serve`. Each worker keeps one request in flight (query or
+// batch), so the measured latencies are per-request under a fixed
+// concurrency, not coordinated-omission-free open-loop numbers — the
+// right shape for capacity planning of the in-process engine. The
+// /api/stats counters are sampled before and after, so the report can
+// attribute throughput to cache layers (hit rates) and to the fused
+// batched path (coalesced / fused counters).
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lamb"
+	"lamb/internal/cache"
+	"lamb/internal/engine"
+	"lamb/internal/report"
+)
+
+// cmdLoadtest drives a running serve instance and reports latency
+// percentiles, throughput, and cache-hit-rate deltas.
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
+	target := fs.String("target", "http://127.0.0.1:8374", "base URL of the running lamb serve")
+	duration := fs.Duration("duration", 5*time.Second, "how long to generate load")
+	concurrency := fs.Int("concurrency", 4, "concurrent workers, one request in flight each")
+	batch := fs.Int("batch", 0, "queries per request: 0/1 = POST /api/query, >1 = POST /api/batch")
+	exprName := fs.String("expr", "aatb", "expression to query")
+	instStr := fs.String("instance", "24,16,8", "instance dimensions, e.g. 24,16,8")
+	strategy := fs.String("strategy", "", "selection strategy (empty = server default)")
+	spread := fs.Int("spread", 4, "distinct instances cycled through (first dimension stepped), so batches exercise more than one coalesced query")
+	timeoutMs := fs.Int("timeout-ms", 0, "per-request query deadline forwarded to the server (0 = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *concurrency < 1 || *duration <= 0 {
+		return fmt.Errorf("need -concurrency >= 1 and -duration > 0")
+	}
+	ex, err := lookupArity(*exprName)
+	if err != nil {
+		return err
+	}
+	inst, err := parseInstance(*instStr, ex)
+	if err != nil {
+		return err
+	}
+
+	// The query mix: -spread distinct instances stepped on the first
+	// dimension. A batch over them still coalesces duplicates (batch
+	// width > spread), which is exactly the serving pattern the fused
+	// path exists for.
+	if *spread < 1 {
+		*spread = 1
+	}
+	queries := make([]engine.Query, *spread)
+	for i := range queries {
+		qi := make([]int, len(inst))
+		copy(qi, inst)
+		qi[0] += i
+		queries[i] = engine.Query{Expr: *exprName, Instance: qi, Strategy: *strategy}
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	before, err := fetchStats(client, *target)
+	if err != nil {
+		return fmt.Errorf("target not reachable: %w", err)
+	}
+
+	var (
+		wg        sync.WaitGroup
+		reqCount  atomic.Uint64
+		errCount  atomic.Uint64
+		shedCount atomic.Uint64
+		latencies = make([][]float64, *concurrency)
+	)
+	deadline := time.Now().Add(*duration)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]float64, 0, 4096)
+			for n := 0; time.Now().Before(deadline); n++ {
+				var body []byte
+				var path string
+				if *batch > 1 {
+					req := batchRequest{Queries: make([]engine.Query, *batch), TimeoutMs: *timeoutMs}
+					for i := range req.Queries {
+						req.Queries[i] = queries[(n+i)%len(queries)]
+					}
+					body, _ = json.Marshal(req)
+					path = "/api/batch"
+				} else {
+					req := queryRequest{Query: queries[n%len(queries)], TimeoutMs: *timeoutMs}
+					body, _ = json.Marshal(req)
+					path = "/api/query"
+				}
+				start := time.Now()
+				resp, err := client.Post(*target+path, "application/json", bytes.NewReader(body))
+				elapsed := time.Since(start).Seconds()
+				reqCount.Add(1)
+				if err != nil {
+					errCount.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					// Load shedding is the server working as designed;
+					// counted separately so saturation is visible without
+					// polluting the error column.
+					shedCount.Add(1)
+					continue
+				case resp.StatusCode != http.StatusOK:
+					errCount.Add(1)
+					continue
+				}
+				lats = append(lats, elapsed)
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	after, err := fetchStats(client, *target)
+	if err != nil {
+		return err
+	}
+
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	reqs := reqCount.Load()
+	qPerReq := 1
+	if *batch > 1 {
+		qPerReq = *batch
+	}
+	okReqs := uint64(len(all))
+	secs := duration.Seconds()
+
+	fmt.Printf("lamb loadtest — %s for %s, %d workers, %d queries/request\n\n",
+		*target, *duration, *concurrency, qPerReq)
+	rows := [][]string{
+		{"requests", fmt.Sprint(reqs)},
+		{"ok", fmt.Sprint(okReqs)},
+		{"shed (503)", fmt.Sprint(shedCount.Load())},
+		{"errors", fmt.Sprint(errCount.Load())},
+		{"requests/s", fmt.Sprintf("%.1f", float64(okReqs)/secs)},
+		{"queries/s", fmt.Sprintf("%.1f", float64(okReqs)*float64(qPerReq)/secs)},
+		{"p50 latency", fmtLatency(percentile(all, 0.50))},
+		{"p90 latency", fmtLatency(percentile(all, 0.90))},
+		{"p99 latency", fmtLatency(percentile(all, 0.99))},
+		{"p99.9 latency", fmtLatency(percentile(all, 0.999))},
+		{"max latency", fmtLatency(percentile(all, 1))},
+	}
+	if err := report.Table(os.Stdout, rows); err != nil {
+		return err
+	}
+
+	fmt.Println()
+	d := statsDelta(before, after)
+	rows = [][]string{{"engine layer", "hits", "misses", "hit rate"}}
+	for _, l := range []struct {
+		name string
+		s    cache.Stats
+	}{
+		{"expressions", d.Expressions},
+		{"bindings", d.Bindings},
+		{"plans", d.Plans},
+		{"batch plans", d.BatchPlans},
+	} {
+		rows = append(rows, []string{l.name, fmt.Sprint(l.s.Hits), fmt.Sprint(l.s.Misses), hitRate(l.s)})
+	}
+	if err := report.Table(os.Stdout, rows); err != nil {
+		return err
+	}
+	fmt.Printf("\nqueries %d  deduped %d  coalesced %d  fused %d  degraded %d\n",
+		d.Queries, d.Deduped, d.Coalesced, d.FusedQueries, d.DegradedQueries)
+	if errCount.Load() > 0 {
+		return fmt.Errorf("%d request(s) failed", errCount.Load())
+	}
+	return nil
+}
+
+// lookupArity resolves an expression name to its arity for instance
+// parsing, with the registered names in the error.
+func lookupArity(name string) (int, error) {
+	ex, err := lamb.LookupExpression(name)
+	if err != nil {
+		return 0, err
+	}
+	return ex.Arity(), nil
+}
+
+// fetchStats samples /api/stats into the flattened serve shape.
+func fetchStats(client *http.Client, target string) (engine.Stats, error) {
+	resp, err := client.Get(target + "/api/stats")
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return engine.Stats{}, fmt.Errorf("GET /api/stats: %s", resp.Status)
+	}
+	var s engine.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return engine.Stats{}, fmt.Errorf("decoding /api/stats: %w", err)
+	}
+	return s, nil
+}
+
+// statsDelta subtracts the counter fields sampled before the run from
+// those sampled after, so the report reflects only this run's traffic.
+func statsDelta(before, after engine.Stats) engine.Stats {
+	d := after
+	d.Expressions = cacheDelta(before.Expressions, after.Expressions)
+	d.Bindings = cacheDelta(before.Bindings, after.Bindings)
+	d.Plans = cacheDelta(before.Plans, after.Plans)
+	d.CallPlans = cacheDelta(before.CallPlans, after.CallPlans)
+	d.BatchPlans = cacheDelta(before.BatchPlans, after.BatchPlans)
+	d.Queries = after.Queries - before.Queries
+	d.Deduped = after.Deduped - before.Deduped
+	d.Coalesced = after.Coalesced - before.Coalesced
+	d.FusedQueries = after.FusedQueries - before.FusedQueries
+	d.DegradedQueries = after.DegradedQueries - before.DegradedQueries
+	return d
+}
+
+func cacheDelta(before, after cache.Stats) cache.Stats {
+	return cache.Stats{
+		Hits:   after.Hits - before.Hits,
+		Misses: after.Misses - before.Misses,
+		Size:   after.Size,
+	}
+}
+
+func hitRate(s cache.Stats) string {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(s.Hits)/float64(total))
+}
+
+// percentile reads the p-quantile from a sorted latency slice (nearest
+// rank; p = 1 is the maximum).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func fmtLatency(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"lamb/internal/engine"
+)
+
+// TestLoadtestAgainstServeBatch drives the loadtest generator against an
+// in-process serve handler in batch mode and checks the traffic actually
+// flowed: queries answered, duplicates coalesced within batches, and no
+// request errors (cmdLoadtest fails on any).
+func TestLoadtestAgainstServeBatch(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	srv := httptest.NewServer(serveMux(eng))
+	defer srv.Close()
+	err := cmdLoadtest([]string{
+		"-target", srv.URL, "-duration", "200ms", "-concurrency", "2",
+		"-batch", "8", "-spread", "3", "-expr", "aatb", "-instance", "16,8,8",
+	})
+	if err != nil {
+		t.Fatalf("cmdLoadtest: %v", err)
+	}
+	s := eng.Stats()
+	if s.Queries == 0 {
+		t.Error("no queries reached the engine")
+	}
+	// Batches of 8 over 3 distinct instances coalesce 5 duplicates each.
+	if s.Coalesced == 0 {
+		t.Error("batched duplicates were not coalesced")
+	}
+}
+
+// TestLoadtestAgainstServeQuery covers the single-query mode and the
+// unreachable-target error path.
+func TestLoadtestAgainstServeQuery(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	srv := httptest.NewServer(serveMux(eng))
+	defer srv.Close()
+	err := cmdLoadtest([]string{
+		"-target", srv.URL, "-duration", "100ms", "-concurrency", "1",
+		"-expr", "chain", "-instance", "8,8,8,8,8",
+	})
+	if err != nil {
+		t.Fatalf("cmdLoadtest: %v", err)
+	}
+	if eng.Stats().Queries == 0 {
+		t.Error("no queries reached the engine")
+	}
+	srv.Close()
+	if err := cmdLoadtest([]string{"-target", srv.URL, "-duration", "50ms"}); err == nil {
+		t.Error("unreachable target did not fail")
+	}
+}

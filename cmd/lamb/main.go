@@ -23,8 +23,11 @@
 //	           -profile enables min-predicted and adaptive strategies,
 //	           POST /api/feedback records measured outcomes
 //	bench      kernel benchmark grid (BENCH_<n>.json with -json; whole-
-//	           algorithm timings with -algs; diff two reports with
+//	           algorithm timings with -algs; fused-vs-sequential batch
+//	           grid with -batch; diff two reports with
 //	           -compare OLD.json NEW.json)
+//	loadtest   closed-loop load generator against a running serve:
+//	           latency percentiles, throughput, cache-hit-rate deltas
 //	all        the full paper pipeline for both of the paper's expressions
 //
 // The generated expressions extend the study beyond the paper: lstsq
@@ -83,6 +86,8 @@ func main() {
 		err = cmdServe(args)
 	case "bench":
 		err = cmdBench(args)
+	case "loadtest":
+		err = cmdLoadtest(args)
 	case "all":
 		err = cmdAll(args)
 	case "-h", "--help", "help":
@@ -115,7 +120,10 @@ subcommands:
              (-profile serves min-predicted/adaptive, /api/feedback
              records outcomes)
   bench      kernel benchmark grid (writes BENCH_<n>.json with -json;
-             -algs times whole algorithms; -compare OLD NEW diffs reports)
+             -algs times whole algorithms; -batch runs the fused-vs-
+             sequential batch grid; -compare OLD NEW diffs reports)
+  loadtest   drive a running serve with query/batch traffic and report
+             latency percentiles, throughput, and cache hit rates
   all        full paper pipeline
 
 run 'lamb <subcommand> -h' for flags`)

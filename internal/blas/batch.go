@@ -1,0 +1,283 @@
+package blas
+
+// Batched kernel drivers for the small-instance regime: N same-shape
+// problems laid out in one slab at a fixed stride, executed through one
+// driver entry instead of N independent calls. Small dense problems are
+// dominated by fixed costs — packing-buffer pool round-trips, argument
+// validation, blocked-driver loop setup — rather than FLOPs, so the
+// batched drivers hoist those costs out of the per-instance loop: one
+// pooled buffer pair serves the whole batch, shared packed panels are
+// laid out back to back, and micro-kernel sweeps interleave across
+// instances while the panels are cache-hot (batmat's batched-linear-
+// algebra design).
+//
+// Every batched driver computes bitwise-identical results to calling its
+// per-instance kernel N times: the fused paths reuse the exact tile
+// decompositions (packA/packB/macroKernel, potf2, trsmUnblocked, the
+// SYRK/SYMM scratch-block merges) the sequential drivers use at the same
+// sizes, and sizes outside the fused regime fall back to the sequential
+// drivers instance by instance.
+//
+// The slab contract: an operand is passed as its instance-0 header plus
+// an instance stride in float64s; instance i's data starts at
+// Data[i·stride]. Headers must satisfy Stride >= Rows as usual, and the
+// backing slice must extend through the last instance.
+
+import (
+	"fmt"
+
+	"lamb/internal/mat"
+)
+
+// instView returns the i-th instance's header: the base header with its
+// data advanced by i·stride. The returned value stays on the caller's
+// stack as long as the callee does not retain it (see mat.View).
+func instView(base *mat.Dense, stride, i int) mat.Dense {
+	v := *base
+	v.Data = base.Data[i*stride:]
+	return v
+}
+
+// GemmBatch computes C_i := alpha·op(A_i)·op(B_i) + beta·C_i for
+// i in [0, count), with the instances laid out at the given strides.
+// Small instances (single-block problems: m <= 128, k <= 256, n <= 2048)
+// run fused: panels of as many instances as fit the pooled packing
+// buffers are packed back to back, then the macro-kernel sweeps
+// instance after instance over the hot packed data. Larger instances
+// fall back to the blocked per-instance driver.
+func GemmBatch(transA, transB bool, alpha float64, a *mat.Dense, strideA int, b *mat.Dense, strideB int, beta float64, c *mat.Dense, strideC int, count int) {
+	if count <= 0 {
+		return
+	}
+	am, ak := opDims(a, transA)
+	bk, bn := opDims(b, transB)
+	if ak != bk {
+		panic(fmt.Sprintf("blas: gemm batch inner dimension mismatch %d vs %d", ak, bk))
+	}
+	if c.Rows != am || c.Cols != bn {
+		panic(fmt.Sprintf("blas: gemm batch output %dx%d, want %dx%d", c.Rows, c.Cols, am, bn))
+	}
+	m, n, k := am, bn, ak
+	if m == 0 || n == 0 {
+		return
+	}
+	if alpha == 0 || k == 0 {
+		for i := 0; i < count; i++ {
+			cv := instView(c, strideC, i)
+			scaleMatrix(&cv, beta)
+		}
+		return
+	}
+	if m <= mc && k <= kc && n <= nc {
+		gemmBatchFused(transA, transB, alpha, a, strideA, b, strideB, beta, c, strideC, count, m, n, k)
+		return
+	}
+	for i := 0; i < count; i++ {
+		av := instView(a, strideA, i)
+		bv := instView(b, strideB, i)
+		cv := instView(c, strideC, i)
+		Gemm(transA, transB, alpha, &av, &bv, beta, &cv)
+	}
+}
+
+// gemmBatchFused is the shared-packing path for single-block instances:
+// every instance is one (jc, pc, ic) block, so its packed panels are
+// contiguous and the whole batch can be packed into the pooled buffers
+// in chunks. Within a chunk all instances are packed first, then the
+// macro-kernel runs instance after instance — the packed data is still
+// resident, and the pool is touched once per batch instead of twice per
+// instance. Tile computations are identical to gemmSerial's, so results
+// match the per-instance driver bitwise.
+func gemmBatchFused(transA, transB bool, alpha float64, a *mat.Dense, strideA int, b *mat.Dense, strideB int, beta float64, c *mat.Dense, strideC int, count, m, n, k int) {
+	packedA := (m + mr - 1) / mr * mr * k
+	packedB := (n + nr - 1) / nr * nr * k
+	chunk := min(mc*kc/packedA, kc*nc/packedB)
+	if chunk < 1 {
+		chunk = 1
+	}
+	bufAp := bufAPool.Get().(*[]float64)
+	bufBp := bufBPool.Get().(*[]float64)
+	bufA, bufB := *bufAp, *bufBp
+	for base := 0; base < count; base += chunk {
+		cnt := min(chunk, count-base)
+		for i := 0; i < cnt; i++ {
+			av := instView(a, strideA, base+i)
+			bv := instView(b, strideB, base+i)
+			packA(bufA[i*packedA:], &av, transA, 0, m, 0, k)
+			packB(bufB[i*packedB:], &bv, transB, 0, k, 0, n)
+		}
+		for i := 0; i < cnt; i++ {
+			cv := instView(c, strideC, base+i)
+			macroKernel(bufA[i*packedA:], bufB[i*packedB:], m, k, alpha, beta, &cv, 0, 0, 0, n)
+		}
+	}
+	bufAPool.Put(bufAp)
+	bufBPool.Put(bufBp)
+}
+
+// SyrkBatch computes the uplo triangle of C_i := alpha·A_i·A_iᵀ +
+// beta·C_i (trans: alpha·A_iᵀ·A_i) for i in [0, count). Instances with
+// m <= 96 are a single diagonal block: the batch shares one scratch
+// square and one packing-buffer pair across all instances. Larger
+// instances fall back to the blocked driver.
+func SyrkBatch(uplo mat.Uplo, trans bool, alpha float64, a *mat.Dense, strideA int, beta float64, c *mat.Dense, strideC int, count int) {
+	if count <= 0 {
+		return
+	}
+	m, k := a.Rows, a.Cols
+	if trans {
+		m, k = a.Cols, a.Rows
+	}
+	if c.Rows != m || c.Cols != m {
+		panic(fmt.Sprintf("blas: syrk batch output %dx%d, want %dx%d", c.Rows, c.Cols, m, m))
+	}
+	if m == 0 {
+		return
+	}
+	if m > syrkBlock || alpha == 0 || k == 0 {
+		for i := 0; i < count; i++ {
+			av := instView(a, strideA, i)
+			cv := instView(c, strideC, i)
+			syrkDriver(uplo, trans, alpha, &av, beta, &cv)
+		}
+		return
+	}
+	scratch := syrkScratchPool.Get().(*mat.Dense)
+	bufAp := bufAPool.Get().(*[]float64)
+	bufBp := bufBPool.Get().(*[]float64)
+	for i := 0; i < count; i++ {
+		av := instView(a, strideA, i)
+		cv := instView(c, strideC, i)
+		sb := scratch.View(0, m, 0, m)
+		gemmSerialBuf(*bufAp, *bufBp, trans, !trans, alpha, &av, &av, 0, &sb)
+		mergeTriangle(&cv, &sb, 0, uplo, beta)
+	}
+	bufAPool.Put(bufAp)
+	bufBPool.Put(bufBp)
+	syrkScratchPool.Put(scratch)
+}
+
+// SymmBatch computes C_i := alpha·A_i·B_i + beta·C_i for symmetric A_i
+// (uplo triangle stored) for i in [0, count). Instances with m <= 96 are
+// a single symmetrised block shared through one pooled scratch square;
+// larger instances fall back to the blocked driver.
+func SymmBatch(uplo mat.Uplo, alpha float64, a *mat.Dense, strideA int, b *mat.Dense, strideB int, beta float64, c *mat.Dense, strideC int, count int) {
+	if count <= 0 {
+		return
+	}
+	m := a.Rows
+	if a.Cols != m {
+		panic(fmt.Sprintf("blas: symm batch A is %dx%d, want square", a.Rows, a.Cols))
+	}
+	n := b.Cols
+	if b.Rows != m || c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("blas: symm batch output %dx%d, want %dx%d", c.Rows, c.Cols, m, n))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if m > syrkBlock || n > nc || alpha == 0 {
+		for i := 0; i < count; i++ {
+			av := instView(a, strideA, i)
+			bv := instView(b, strideB, i)
+			cv := instView(c, strideC, i)
+			Symm(uplo, alpha, &av, &bv, beta, &cv)
+		}
+		return
+	}
+	scratch := syrkScratchPool.Get().(*mat.Dense)
+	bufAp := bufAPool.Get().(*[]float64)
+	bufBp := bufBPool.Get().(*[]float64)
+	for i := 0; i < count; i++ {
+		av := instView(a, strideA, i)
+		bv := instView(b, strideB, i)
+		cv := instView(c, strideC, i)
+		ab := scratch.View(0, m, 0, m)
+		materialiseSymBlock(&ab, &av, uplo, 0, m, 0, m)
+		gemmSerialBuf(*bufAp, *bufBp, false, false, alpha, &ab, &bv, beta, &cv)
+	}
+	bufAPool.Put(bufAp)
+	bufBPool.Put(bufBp)
+	syrkScratchPool.Put(scratch)
+}
+
+// TrsmBatch solves op(L_i)·X_i = alpha·B_i in place for i in [0, count).
+// Instances with m <= 64 are a single diagonal block solved with the
+// unblocked substitution kernel directly; larger instances fall back to
+// the blocked driver.
+func TrsmBatch(uplo mat.Uplo, transL bool, alpha float64, l *mat.Dense, strideL int, b *mat.Dense, strideB int, count int) {
+	if count <= 0 {
+		return
+	}
+	m := l.Rows
+	if l.Cols != m {
+		panic(fmt.Sprintf("blas: trsm batch L is %dx%d, want square", l.Rows, l.Cols))
+	}
+	if b.Rows != m {
+		panic(fmt.Sprintf("blas: trsm batch B has %d rows, want %d", b.Rows, m))
+	}
+	if m == 0 || b.Cols == 0 {
+		return
+	}
+	const nb = 64 // must match Trsm's block size for identical results
+	for i := 0; i < count; i++ {
+		lv := instView(l, strideL, i)
+		bv := instView(b, strideB, i)
+		if m > nb {
+			Trsm(uplo, transL, alpha, &lv, &bv)
+			continue
+		}
+		if alpha != 1 {
+			scaleMatrix(&bv, alpha)
+		}
+		trsmUnblocked(uplo, transL, &lv, &bv)
+	}
+}
+
+// PotrfBatch factors A_i = L_i·L_iᵀ in place for i in [0, count).
+// Instances with n <= 64 run the unblocked kernel directly (exactly what
+// the blocked driver does at that size); larger instances fall back to
+// it. The first non-positive-definite instance aborts the batch with an
+// error naming it.
+func PotrfBatch(a *mat.Dense, strideA, count int) error {
+	if count <= 0 {
+		return nil
+	}
+	n := a.Rows
+	if a.Cols != n {
+		return fmt.Errorf("blas: potrf batch of non-square %dx%d", a.Rows, a.Cols)
+	}
+	const nb = 64 // must match Potrf's block size for identical results
+	for i := 0; i < count; i++ {
+		av := instView(a, strideA, i)
+		var err error
+		if n <= nb {
+			err = potf2(&av, 0)
+		} else {
+			err = Potrf(&av)
+		}
+		if err != nil {
+			return fmt.Errorf("%w (batch instance %d)", err, i)
+		}
+	}
+	return nil
+}
+
+// AddSymBatch adds the uplo triangles C_i := C_i + A_i for i in
+// [0, count).
+func AddSymBatch(uplo mat.Uplo, c *mat.Dense, strideC int, a *mat.Dense, strideA, count int) {
+	for i := 0; i < count; i++ {
+		cv := instView(c, strideC, i)
+		av := instView(a, strideA, i)
+		AddSym(uplo, &cv, &av)
+	}
+}
+
+// Tri2FullBatch mirrors the uplo triangle onto the opposite one for each
+// of the count instances.
+func Tri2FullBatch(uplo mat.Uplo, c *mat.Dense, strideC, count int) {
+	for i := 0; i < count; i++ {
+		cv := instView(c, strideC, i)
+		Tri2Full(uplo, &cv)
+	}
+}

@@ -219,15 +219,22 @@ func gemmParallel(nw int, transA, transB bool, alpha float64, aArg, bArg *mat.De
 
 // gemmSerial is the single-goroutine blocked implementation.
 func gemmSerial(transA, transB bool, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
-	m, _ := opDims(a, transA)
-	k, n := opDims(b, transB)
 	bufAp := bufAPool.Get().(*[]float64)
 	bufBp := bufBPool.Get().(*[]float64)
-	bufA, bufB := *bufAp, *bufBp
 	defer func() {
 		bufAPool.Put(bufAp)
 		bufBPool.Put(bufBp)
 	}()
+	gemmSerialBuf(*bufAp, *bufBp, transA, transB, alpha, a, b, beta, c)
+}
+
+// gemmSerialBuf is gemmSerial over caller-provided packing buffers (bufA
+// at least mc·kc floats, bufB at least kc·nc), so batched drivers can
+// hold one buffer pair across many small products instead of a pool
+// round-trip per product.
+func gemmSerialBuf(bufA, bufB []float64, transA, transB bool, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
+	m, _ := opDims(a, transA)
+	k, n := opDims(b, transB)
 	for jc := 0; jc < n; jc += nc {
 		ncb := min(nc, n-jc)
 		for pc := 0; pc < k; pc += kc {

@@ -172,10 +172,19 @@ type Stats struct {
 	// backend only; zero-valued on the simulated backend).
 	Plans     cache.Stats `json:"plans"`
 	CallPlans cache.Stats `json:"call_plans"`
+	// BatchPlans counts execution-layer fused batch-plan lookups
+	// (measured backend only; zero-valued on the simulated backend).
+	BatchPlans cache.Stats `json:"batch_plans"`
 	// Queries counts Query calls; Deduped counts those answered by an
 	// in-flight identical query (singleflight hits).
 	Queries uint64 `json:"queries"`
 	Deduped uint64 `json:"deduped"`
+	// Coalesced counts batch queries answered by an identical query in
+	// the same batch (within-batch dedup, before the singleflight layer).
+	Coalesced uint64 `json:"coalesced"`
+	// FusedQueries counts timed queries whose measurement ran through the
+	// fused batched execution path (batch queries in the fused regime).
+	FusedQueries uint64 `json:"fused_queries"`
 	// Feedback counts outcomes recorded through Engine.Feedback;
 	// FeedbackInstances is the number of distinct (expression, instance)
 	// points those outcomes cover.
@@ -274,8 +283,10 @@ type Engine struct {
 	sfMu     sync.Mutex
 	inflight map[string]*flight
 
-	queries atomic.Uint64
-	deduped atomic.Uint64
+	queries   atomic.Uint64
+	deduped   atomic.Uint64
+	coalesced atomic.Uint64
+	fused     atomic.Uint64
 
 	// The feedback path: measured outcomes recorded per (expression,
 	// instance), searched by log-shape distance for adaptive queries,
@@ -506,6 +517,16 @@ func (e *Engine) Query(q Query) (*Record, error) {
 // mid-measurement degrades timed strategies to a FLOPs-only answer (see
 // answer); a context that is already done fails immediately.
 func (e *Engine) QueryCtx(ctx context.Context, q Query) (*Record, error) {
+	return e.queryCtx(ctx, q, false)
+}
+
+// queryCtx is QueryCtx with the fused-execution flag batch queries set:
+// fused queries may answer timed strategies through the fused batched
+// measurement path (see answer). Fused and per-instance flights are
+// kept apart in the singleflight table — they follow different
+// measurement protocols, and a record must reflect the protocol that
+// produced it.
+func (e *Engine) queryCtx(ctx context.Context, q Query, fusedOK bool) (*Record, error) {
 	e.queries.Add(1)
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -515,6 +536,9 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (*Record, error) {
 		strat = DefaultStrategy
 	}
 	key := strings.ToLower(q.Expr) + "|" + q.Instance.String() + "|" + strat
+	if fusedOK {
+		key += "|fused"
+	}
 
 	e.sfMu.Lock()
 	if f, ok := e.inflight[key]; ok {
@@ -531,7 +555,7 @@ func (e *Engine) QueryCtx(ctx context.Context, q Query) (*Record, error) {
 	e.inflight[key] = f
 	e.sfMu.Unlock()
 
-	f.rec, f.err = e.answer(ctx, q, strat)
+	f.rec, f.err = e.answer(ctx, q, strat, fusedOK)
 
 	e.sfMu.Lock()
 	delete(e.inflight, key)
@@ -615,7 +639,7 @@ func (e *Engine) degradeRun(run strategyRun, reason string) strategyRun {
 // algorithm set, apply the strategy, render the record. The profile
 // state is loaded once at entry — a concurrent ReloadProfiles swaps the
 // pointer without affecting this query.
-func (e *Engine) answer(ctx context.Context, q Query, strat string) (rec *Record, err error) {
+func (e *Engine) answer(ctx context.Context, q Query, strat string, fusedOK bool) (rec *Record, err error) {
 	defer func() {
 		// The expression layer panics on malformed custom expressions;
 		// a serving engine turns that into a query error instead of
@@ -643,9 +667,20 @@ func (e *Engine) answer(ctx context.Context, q Query, strat string) (rec *Record
 	}
 	var pick int
 	if run.timed {
+		width := 0
+		if fusedOK {
+			width = e.fuseWidth(algs)
+		}
 		e.execMu.Lock()
-		pick, err = chooseTimed(ctx, run.s, algs)
+		if width >= 2 {
+			pick, err = e.chooseTimedFused(ctx, algs, width)
+		} else {
+			pick, err = chooseTimed(ctx, run.s, algs)
+		}
 		e.execMu.Unlock()
+		if err == nil && width >= 2 {
+			e.fused.Add(1)
+		}
 		if err != nil {
 			if ctx.Err() == nil {
 				return nil, err
@@ -697,6 +732,51 @@ func chooseTimed(ctx context.Context, s selection.Strategy, algs []expr.Algorith
 	return s.Choose(algs), nil
 }
 
+// fuseWidth returns the common fused measurement width for the set: the
+// smallest FuseWidth over its algorithms, so every candidate is measured
+// under the same protocol. 0 when the executor has no batched path or
+// any algorithm is outside the fused regime — the caller then uses the
+// ordinary per-instance measurement.
+func (e *Engine) fuseWidth(algs []expr.Algorithm) int {
+	be, ok := e.timer.Exec.(exec.BatchExecutor)
+	if !ok {
+		return 0
+	}
+	width := 0
+	for i := range algs {
+		w := be.FuseWidth(&algs[i])
+		if w < 2 {
+			return 0
+		}
+		if width == 0 || w < width {
+			width = w
+		}
+	}
+	return width
+}
+
+// chooseTimedFused is the oracle choice over fused batched measurement:
+// every algorithm is timed by executing width instances through one
+// fused plan per repetition (amortising the cache flush and per-dispatch
+// fixed costs), and the per-instance medians are compared exactly as the
+// per-instance oracle compares its measurements. The context is honoured
+// between repetitions, so the deadline degradation ladder behaves
+// identically to the per-instance path.
+func (e *Engine) chooseTimedFused(ctx context.Context, algs []expr.Algorithm, width int) (int, error) {
+	best := -1
+	bestT := 0.0
+	for i := range algs {
+		m, err := e.timer.MeasureAlgorithmBatchCtx(ctx, &algs[i], width)
+		if err != nil {
+			return -1, err
+		}
+		if best < 0 || m.Total < bestT {
+			best, bestT = i, m.Total
+		}
+	}
+	return best, nil
+}
+
 // batchWorkers bounds QueryBatch's concurrency.
 func batchWorkers(n int) int {
 	w := runtime.GOMAXPROCS(0) * 2
@@ -716,27 +796,60 @@ func (e *Engine) QueryBatch(qs []Query) []BatchResult {
 }
 
 // QueryBatchCtx answers the queries concurrently under one shared
-// context (identical queries are deduplicated by the singleflight
-// layer) and returns the results in request order. A context that
-// expires mid-batch fails the not-yet-answered queries with its error.
+// context and returns the results in request order. Identical
+// (expression, instance, strategy) queries within the batch are
+// coalesced before dispatch: one representative computes, duplicates
+// share its record without ever entering the pipeline (counted in
+// Stats.Coalesced; cross-request duplicates are still deduplicated by
+// the singleflight layer underneath). Batch queries run with fused
+// execution enabled: timed strategies in the small-instance regime
+// measure through fused batch plans (Stats.FusedQueries). A context
+// that expires mid-batch fails the not-yet-answered queries with its
+// error.
 func (e *Engine) QueryBatchCtx(ctx context.Context, qs []Query) []BatchResult {
 	out := make([]BatchResult, len(qs))
 	if len(qs) == 0 {
 		return out
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, batchWorkers(len(qs)))
+	// Within-batch coalescing: first occurrence of each key computes,
+	// duplicates copy its result after the wait.
+	firstOf := make(map[string]int, len(qs))
+	dup := make([]int, len(qs)) // dup[i] = index of i's representative
+	uniq := make([]int, 0, len(qs))
 	for i := range qs {
+		strat := qs[i].Strategy
+		if strat == "" {
+			strat = DefaultStrategy
+		}
+		key := strings.ToLower(qs[i].Expr) + "|" + qs[i].Instance.String() + "|" + strat
+		if j, ok := firstOf[key]; ok {
+			dup[i] = j
+			continue
+		}
+		firstOf[key] = i
+		dup[i] = i
+		uniq = append(uniq, i)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, batchWorkers(len(uniq)))
+	for _, i := range uniq {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rec, err := e.QueryCtx(ctx, qs[i])
+			rec, err := e.queryCtx(ctx, qs[i], true)
 			out[i] = BatchResult{Record: rec, Err: err}
 		}(i)
 	}
 	wg.Wait()
+	for i := range qs {
+		if dup[i] != i {
+			e.queries.Add(1) // a coalesced query is still an answered query
+			e.coalesced.Add(1)
+			out[i] = out[dup[i]]
+		}
+	}
 	return out
 }
 
@@ -750,9 +863,12 @@ func (e *Engine) Stats() Stats {
 	e.mu.Unlock()
 	if e.plans != nil {
 		s.Plans, s.CallPlans = e.plans.Stats()
+		s.BatchPlans = e.plans.BatchStats()
 	}
 	s.Queries = e.queries.Load()
 	s.Deduped = e.deduped.Load()
+	s.Coalesced = e.coalesced.Load()
+	s.FusedQueries = e.fused.Load()
 	s.Feedback = e.feedback.Load()
 	s.FeedbackInstances = e.outcomes.Size()
 	s.AdaptiveQueries = e.adaptiveQueries.Load()

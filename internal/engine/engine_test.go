@@ -348,7 +348,7 @@ func TestEngineSingleflightDedup(t *testing.T) {
 	default:
 	}
 
-	want, err := e.answer(context.Background(), q, "min-flops")
+	want, err := e.answer(context.Background(), q, "min-flops", false)
 	if err != nil {
 		t.Fatal(err)
 	}

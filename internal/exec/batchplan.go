@@ -1,0 +1,226 @@
+package exec
+
+// This file implements fused batched execution plans: one algorithm, N
+// same-shape instances, one arena. The single-instance plan layout is
+// generalised to a per-instance stride — the arena is one slab holding
+// count copies of the liveness-packed layout, each instance's operands
+// at a fixed offset from its slab base — and every call binds to a
+// batched BLAS driver (blas.GemmBatch and friends) that executes all N
+// instances through one driver entry with shared packing buffers. For
+// the small-instance regime this amortises the fixed per-dispatch costs
+// (pool round-trips, validation, blocked-driver setup) that dominate
+// small problems, while producing results bitwise identical to running
+// the single-instance plan N times.
+
+import (
+	"fmt"
+	"time"
+
+	"lamb/internal/blas"
+	"lamb/internal/expr"
+	"lamb/internal/kernels"
+	"lamb/internal/mat"
+	"lamb/internal/xrand"
+)
+
+// batchAlign is the instance-stride alignment in float64s (64 bytes), so
+// every instance's slab starts on a cache-line boundary.
+const batchAlign = 8
+
+// BatchPlan is a compiled algorithm fused over count same-shape
+// instances. Compile once, execute many times; like Plan it is not safe
+// for concurrent use.
+type BatchPlan struct {
+	alg    *expr.Algorithm
+	count  int
+	stride int // instance slab stride in float64s
+	index  map[string]int
+	arena  []float64
+	// insts[i][j] is instance i's header for operand j, carved out of
+	// the shared arena at offset i·stride + offsets[j].
+	insts      [][]mat.Dense
+	steps      []planStep
+	fills      []planFill
+	spdScratch []float64
+	times      []float64
+	output     int
+}
+
+// CompileBatchPlan lowers the algorithm into a BatchPlan over count
+// instances. Compilation allocates everything an execution will ever
+// need, so Execute and ExecuteTimed are allocation-free afterwards.
+func CompileBatchPlan(alg *expr.Algorithm, count int) (*BatchPlan, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("exec: batch plan needs count >= 1, got %d", count)
+	}
+	lay, err := compileLayout(alg)
+	if err != nil {
+		return nil, err
+	}
+	stride := (lay.arenaLen + batchAlign - 1) &^ (batchAlign - 1)
+	if stride == 0 {
+		stride = batchAlign
+	}
+	p := &BatchPlan{
+		alg:    alg,
+		count:  count,
+		stride: stride,
+		index:  lay.index,
+		output: lay.output,
+		fills:  lay.fills,
+	}
+	p.arena = make([]float64, stride*count)
+	p.insts = make([][]mat.Dense, count)
+	for inst := 0; inst < count; inst++ {
+		hs := make([]mat.Dense, len(lay.order))
+		for i, id := range lay.order {
+			sh := alg.Shapes[id]
+			off := inst*stride + lay.offsets[i]
+			hs[i] = mat.Dense{
+				Rows:   sh.Rows,
+				Cols:   sh.Cols,
+				Stride: max(sh.Rows, 1),
+				Data:   p.arena[off : off+lay.sizes[i]],
+			}
+		}
+		p.insts[inst] = hs
+	}
+	p.spdScratch = make([]float64, lay.scratchLen)
+
+	// Batch-base headers: instance 0's operands with open-ended data, so
+	// the batched drivers can stride forward through the slab.
+	bases := make([]*mat.Dense, len(lay.order))
+	for i, id := range lay.order {
+		sh := alg.Shapes[id]
+		bases[i] = &mat.Dense{
+			Rows:   sh.Rows,
+			Cols:   sh.Cols,
+			Stride: max(sh.Rows, 1),
+			Data:   p.arena[lay.offsets[i]:],
+		}
+	}
+	nsteps := len(alg.Calls)
+	p.steps = make([]planStep, nsteps)
+	for s, c := range alg.Calls {
+		run, err := bindBatchCall(c, func(id string) *mat.Dense { return bases[p.index[id]] }, stride, count)
+		if err != nil {
+			return nil, err
+		}
+		p.steps[s] = planStep{call: c, run: run}
+	}
+	p.times = make([]float64, nsteps)
+	return p, nil
+}
+
+// bindBatchCall resolves the call's operands to their batch-base headers
+// and returns a closure that executes it on the batched BLAS drivers,
+// all operands advancing at the plan's instance stride. Per-instance
+// semantics match bindCall exactly.
+func bindBatchCall(c kernels.Call, get func(string) *mat.Dense, stride, count int) (func(), error) {
+	switch c.Kind {
+	case kernels.Gemm:
+		a, b, out := get(c.In[0]), get(c.In[1]), get(c.Out)
+		tA, tB := c.TransA, c.TransB
+		return func() { blas.GemmBatch(tA, tB, 1, a, stride, b, stride, 0, out, stride, count) }, nil
+	case kernels.Syrk:
+		a, out := get(c.In[0]), get(c.Out)
+		trans := c.TransA
+		return func() { blas.SyrkBatch(mat.Lower, trans, 1, a, stride, 0, out, stride, count) }, nil
+	case kernels.Symm:
+		a, b, out := get(c.In[0]), get(c.In[1]), get(c.Out)
+		return func() { blas.SymmBatch(mat.Lower, 1, a, stride, b, stride, 0, out, stride, count) }, nil
+	case kernels.Tri2Full:
+		out := get(c.Out)
+		return func() { blas.Tri2FullBatch(mat.Lower, out, stride, count) }, nil
+	case kernels.Potrf:
+		out := get(c.Out)
+		id := c.Out
+		return func() {
+			if err := blas.PotrfBatch(out, stride, count); err != nil {
+				panic(fmt.Sprintf("exec: %v (operand %q must be SPD)", err, id))
+			}
+		}, nil
+	case kernels.Trsm:
+		l, b := get(c.In[0]), get(c.Out)
+		trans := c.TransA
+		return func() { blas.TrsmBatch(mat.Lower, trans, 1, l, stride, b, stride, count) }, nil
+	case kernels.AddSym:
+		out, r := get(c.Out), get(c.In[1])
+		return func() { blas.AddSymBatch(mat.Lower, out, stride, r, stride, count) }, nil
+	default:
+		return nil, fmt.Errorf("exec: cannot bind unknown kind %v", c.Kind)
+	}
+}
+
+// FillInputs refills every instance's input operands in place,
+// instance-major: instance 0's inputs first, then instance 1's, exactly
+// the stream order N consecutive Plan.FillInputs calls would consume.
+// It performs no heap allocations.
+func (p *BatchPlan) FillInputs(rng *xrand.Rand) {
+	for inst := range p.insts {
+		for _, f := range p.fills {
+			fillOperand(&p.insts[inst][f.idx], f.kind, p.spdScratch, rng)
+		}
+	}
+}
+
+// Execute runs the fused call sequence once: each step executes all
+// count instances through one batched driver invocation. It performs no
+// heap allocations.
+func (p *BatchPlan) Execute() {
+	for i := range p.steps {
+		p.steps[i].run()
+	}
+}
+
+// ExecuteTimed runs the fused sequence, timing each batched call with
+// the monotonic clock. times[s] covers all count instances of step s.
+// The returned slice is owned by the plan and reused by the next
+// ExecuteTimed; it performs no heap allocations.
+func (p *BatchPlan) ExecuteTimed() []float64 {
+	for i := range p.steps {
+		start := time.Now()
+		p.steps[i].run()
+		p.times[i] = time.Since(start).Seconds()
+	}
+	return p.times
+}
+
+// Alg returns the algorithm this plan was compiled from.
+func (p *BatchPlan) Alg() *expr.Algorithm { return p.alg }
+
+// Count returns the number of fused instances.
+func (p *BatchPlan) Count() int { return p.count }
+
+// Stride returns the per-instance slab stride in float64s.
+func (p *BatchPlan) Stride() int { return p.stride }
+
+// ArenaLen returns the length in float64s of the whole batch arena.
+func (p *BatchPlan) ArenaLen() int { return len(p.arena) }
+
+// SetInput copies src into instance inst's named operand slot. It panics
+// if the operand is unknown or the shapes disagree.
+func (p *BatchPlan) SetInput(inst int, id string, src *mat.Dense) {
+	i, ok := p.index[id]
+	if !ok {
+		panic(fmt.Sprintf("exec: batch plan has no operand %q", id))
+	}
+	dst := &p.insts[inst][i]
+	if src.Rows != dst.Rows || src.Cols != dst.Cols {
+		panic(fmt.Sprintf("exec: input %q is %dx%d, algorithm expects %dx%d",
+			id, src.Rows, src.Cols, dst.Rows, dst.Cols))
+	}
+	mat.Copy(dst, src)
+}
+
+// Operand returns instance inst's arena-backed matrix for the given
+// operand ID, or nil if the plan has no such operand.
+func (p *BatchPlan) Operand(inst int, id string) *mat.Dense {
+	if i, ok := p.index[id]; ok {
+		return &p.insts[inst][i]
+	}
+	return nil
+}
+
+// Output returns instance inst's arena-backed result operand.
+func (p *BatchPlan) Output(inst int) *mat.Dense { return &p.insts[inst][p.output] }

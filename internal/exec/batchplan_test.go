@@ -1,0 +1,195 @@
+package exec
+
+import (
+	"context"
+	"testing"
+
+	"lamb/internal/blas"
+	"lamb/internal/expr"
+	"lamb/internal/machine"
+	"lamb/internal/mat"
+	"lamb/internal/xrand"
+)
+
+// TestBatchPlanMatchesSequential pins the tentpole equivalence: a fused
+// batch execution produces bitwise-identical results to running the
+// single-instance plan once per instance from the same fill stream, for
+// every algorithm of every registered expression at a random small
+// instance.
+func TestBatchPlanMatchesSequential(t *testing.T) {
+	rng := xrand.New(0xba7c4)
+	const count = 3
+	for _, name := range expr.Names() {
+		ex, err := expr.Lookup(name)
+		if err != nil {
+			t.Fatalf("lookup %q: %v", name, err)
+		}
+		inst := make(expr.Instance, ex.Arity())
+		for i := range inst {
+			inst[i] = 5 + rng.Intn(28)
+		}
+		algs := ex.Algorithms(inst)
+		for i := range algs {
+			alg := &algs[i]
+			bp, err := CompileBatchPlan(alg, count)
+			if err != nil {
+				t.Fatalf("%s/%s %v: CompileBatchPlan: %v", name, alg.Name, inst, err)
+			}
+			sp, err := CompilePlan(alg)
+			if err != nil {
+				t.Fatalf("%s/%s: CompilePlan: %v", name, alg.Name, err)
+			}
+			fused, seq := xrand.New(0xf111), xrand.New(0xf111)
+			bp.FillInputs(fused)
+			bp.Execute()
+			for inst := 0; inst < count; inst++ {
+				sp.FillInputs(seq)
+				sp.Execute()
+				if !mat.Equal(sp.Output(), bp.Output(inst)) {
+					t.Errorf("%s/%s %v: fused instance %d differs from sequential execution",
+						name, alg.Name, inst, inst)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPlanFillMatchesSequentialStream pins the fill-stream
+// contract: BatchPlan.FillInputs consumes the deterministic stream in
+// the same order as count consecutive Plan.FillInputs calls, so fused
+// and sequential measurements see identical operand contents.
+func TestBatchPlanFillMatchesSequentialStream(t *testing.T) {
+	algs := expr.NewLstSq().Algorithms(expr.Instance{32, 16, 8})
+	alg := &algs[0]
+	const count = 4
+	bp, err := CompileBatchPlan(alg, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := CompilePlan(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, seq := xrand.New(0xabc), xrand.New(0xabc)
+	bp.FillInputs(fused)
+	for inst := 0; inst < count; inst++ {
+		sp.FillInputs(seq)
+		for _, id := range alg.Inputs {
+			if !mat.Equal(sp.Operand(id), bp.Operand(inst, id)) {
+				t.Errorf("input %q of instance %d differs from the sequential fill stream", id, inst)
+			}
+		}
+	}
+}
+
+// TestBatchPlanArenaLayout checks the slab geometry: cache-line-aligned
+// instance stride, arena covering all instances, and operands of
+// adjacent instances exactly one stride apart.
+func TestBatchPlanArenaLayout(t *testing.T) {
+	algs := expr.NewAATB().Algorithms(expr.Instance{24, 16, 8})
+	alg := &algs[0]
+	const count = 5
+	bp, err := CompileBatchPlan(alg, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Count() != count {
+		t.Errorf("Count() = %d, want %d", bp.Count(), count)
+	}
+	if bp.Stride()%batchAlign != 0 {
+		t.Errorf("stride %d not %d-aligned", bp.Stride(), batchAlign)
+	}
+	if got, want := bp.ArenaLen(), bp.Stride()*count; got != want {
+		t.Errorf("ArenaLen() = %d, want stride·count = %d", got, want)
+	}
+	sp, err := CompilePlan(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Stride() < sp.ArenaLen() {
+		t.Errorf("stride %d smaller than single-instance arena %d", bp.Stride(), sp.ArenaLen())
+	}
+	for _, id := range alg.Inputs {
+		o0, o1 := bp.Operand(0, id), bp.Operand(1, id)
+		o0.Data[0] = 42
+		if o1.Data[0] == 42 {
+			t.Fatalf("operand %q of instances 0 and 1 alias", id)
+		}
+		o0.Data[0] = 0
+	}
+}
+
+// TestMeasuredTimeAlgorithmBatchZeroAllocs extends the zero-alloc
+// guarantee to the fused batched path: after the batch plan is compiled
+// (first repetition), a fused batch repetition — refill all instances,
+// flush, execute every batched call — performs zero heap allocations.
+func TestMeasuredTimeAlgorithmBatchZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; allocation counts are meaningless")
+	}
+	defer blas.SetMaxWorkers(blas.SetMaxWorkers(1))
+	e := NewMeasured()
+	e.FlushBytes = 1 << 20
+	for _, tc := range []struct {
+		name  string
+		algs  []expr.Algorithm
+		count int
+	}{
+		{"chain", expr.NewChainABCD().Algorithms(expr.Instance{24, 16, 20, 12, 8}), 8},
+		{"aatb", expr.NewAATB().Algorithms(expr.Instance{24, 16, 8}), 16},
+		{"lstsq", expr.NewLstSq().Algorithms(expr.Instance{32, 16, 8}), 8},
+	} {
+		for i := range tc.algs {
+			alg := &tc.algs[i]
+			e.TimeAlgorithmBatch(alg, tc.count, 0) // compile the plan, warm the pools
+			allocs := testing.AllocsPerRun(10, func() {
+				e.TimeAlgorithmBatch(alg, tc.count, 1)
+			})
+			if allocs != 0 {
+				t.Errorf("%s algorithm %d (%s): %v allocs per fused batch repetition, want 0",
+					tc.name, alg.Index, alg.Name, allocs)
+			}
+		}
+	}
+}
+
+// TestMeasuredFuseWidth checks the fused-regime gate: small instances
+// fuse wide (capped at 64), huge instances don't fuse at all.
+func TestMeasuredFuseWidth(t *testing.T) {
+	e := NewMeasured()
+	small := expr.NewAATB().Algorithms(expr.Instance{8, 8, 8})
+	if w := e.FuseWidth(&small[0]); w != 64 {
+		t.Errorf("FuseWidth(8-dim aatb) = %d, want the 64 cap", w)
+	}
+	big := expr.NewAATB().Algorithms(expr.Instance{1200, 1200, 1200})
+	if w := e.FuseWidth(&big[0]); w != 0 {
+		t.Errorf("FuseWidth(1200-dim aatb) = %d, want 0 (outside the fused regime)", w)
+	}
+}
+
+// TestMeasureAlgorithmBatchCtx checks the fused measurement protocol:
+// per-instance scaling, context cancellation between repetitions, and
+// rejection of executors without a batched path.
+func TestMeasureAlgorithmBatchCtx(t *testing.T) {
+	e := NewMeasured()
+	e.FlushBytes = 1 << 20
+	timer := &Timer{Exec: e, Reps: 2}
+	algs := expr.NewAATB().Algorithms(expr.Instance{16, 8, 8})
+	alg := &algs[0]
+	m, err := timer.MeasureAlgorithmBatchCtx(context.Background(), alg, 8)
+	if err != nil {
+		t.Fatalf("MeasureAlgorithmBatchCtx: %v", err)
+	}
+	if m.Total <= 0 || len(m.PerCall) != len(alg.Calls) {
+		t.Errorf("measurement %+v malformed", m)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := timer.MeasureAlgorithmBatchCtx(ctx, alg, 8); err == nil {
+		t.Error("cancelled context not honoured")
+	}
+	simTimer := &Timer{Exec: NewSimulated(machine.NewDefault()), Reps: 2}
+	if _, err := simTimer.MeasureAlgorithmBatchCtx(context.Background(), alg, 8); err == nil {
+		t.Error("simulated executor accepted a fused batch measurement")
+	}
+}

@@ -144,6 +144,50 @@ func (e *Measured) TimeAlgorithm(alg *expr.Algorithm, rep uint64) []float64 {
 	return p.ExecuteTimed()
 }
 
+// batchSlabFloats is the fused-batch arena budget in float64s (4 MiB).
+// Fusing exists to amortise fixed per-dispatch costs across instances
+// whose working sets are cache-resident; once a single batch slab spills
+// far past L2 the batched drivers degenerate into the sequential loop
+// and the wider plan just wastes memory, so instances whose arena
+// cannot fit at least two slabs in the budget are not fused at all.
+const batchSlabFloats = (4 << 20) / 8
+
+// FuseWidth implements BatchExecutor: how many instances of alg a fused
+// batch plan should execute together. 0 means the algorithm is out of
+// the fused regime (instance arena too large — or not compilable, which
+// the caller will surface through the ordinary per-instance path).
+func (e *Measured) FuseWidth(alg *expr.Algorithm) int {
+	lay, err := compileLayout(alg)
+	if err != nil {
+		return 0
+	}
+	stride := (lay.arenaLen + batchAlign - 1) &^ (batchAlign - 1)
+	if stride == 0 {
+		stride = batchAlign
+	}
+	w := batchSlabFloats / stride
+	if w < 2 {
+		return 0
+	}
+	return min(w, 64)
+}
+
+// TimeAlgorithmBatch implements BatchExecutor: one fused repetition over
+// count instances — all instances refilled, one cache flush, one fused
+// plan execution. The returned per-call times cover all count instances
+// of each call. After the batch plan is compiled (first repetition),
+// nothing on this path allocates. The returned slice is owned by the
+// executor and reused by the next call.
+func (e *Measured) TimeAlgorithmBatch(alg *expr.Algorithm, count int, rep uint64) []float64 {
+	p, err := e.Plans.BatchPlan(alg, count)
+	if err != nil {
+		panic(fmt.Sprintf("exec: %v", err))
+	}
+	p.FillInputs(e.fillRng)
+	e.flushCache()
+	return p.ExecuteTimed()
+}
+
 // TimeCallCold implements Executor: the call runs through a compiled
 // single-call plan (cached by MemoKey) whose operands are refilled in
 // place after the first repetition, so no allocation happens after the

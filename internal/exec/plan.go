@@ -52,21 +52,34 @@ type planFill struct {
 	kind kernels.FillKind
 }
 
-// CompilePlan lowers the algorithm into a Plan. The algorithm is
-// validated first; compilation allocates everything an execution will
-// ever need, so Execute and ExecuteTimed are allocation-free afterwards.
-func CompilePlan(alg *expr.Algorithm) (*Plan, error) {
+// planLayout is the shape-level stage of plan compilation, shared by
+// the single-instance and batched compilers: operand table, liveness,
+// arena offsets, and input-refill recipe. It holds no storage — only
+// where everything goes.
+type planLayout struct {
+	order      []string
+	index      map[string]int
+	offsets    []int
+	sizes      []int
+	arenaLen   int
+	operandLen int
+	output     int
+	fills      []planFill
+	scratchLen int
+}
+
+// compileLayout validates the algorithm and computes its plan layout.
+func compileLayout(alg *expr.Algorithm) (*planLayout, error) {
 	if err := alg.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Plan{alg: alg, index: make(map[string]int, len(alg.Shapes))}
+	lay := &planLayout{index: make(map[string]int, len(alg.Shapes))}
 
 	// Operand discovery in deterministic first-mention order.
-	var order []string
 	mention := func(id string) {
-		if _, ok := p.index[id]; !ok {
-			p.index[id] = len(order)
-			order = append(order, id)
+		if _, ok := lay.index[id]; !ok {
+			lay.index[id] = len(lay.order)
+			lay.order = append(lay.order, id)
 		}
 	}
 	for _, c := range alg.Calls {
@@ -79,7 +92,7 @@ func CompilePlan(alg *expr.Algorithm) (*Plan, error) {
 	// Operand() works for everything in the table.
 	rest := make([]string, 0)
 	for id := range alg.Shapes {
-		if _, ok := p.index[id]; !ok {
+		if _, ok := lay.index[id]; !ok {
 			rest = append(rest, id)
 		}
 	}
@@ -87,13 +100,13 @@ func CompilePlan(alg *expr.Algorithm) (*Plan, error) {
 	for _, id := range rest {
 		mention(id)
 	}
-	p.output = p.index[alg.Output]
+	lay.output = lay.index[alg.Output]
 
 	// Liveness: a temporary is live from the first step that mentions it
 	// to the last. Inputs are refilled in place before every repetition
 	// and the output is the result, so both get dedicated slots (live for
 	// the whole sequence).
-	n := len(order)
+	n := len(lay.order)
 	nsteps := len(alg.Calls)
 	first := make([]int, n)
 	last := make([]int, n)
@@ -101,7 +114,7 @@ func CompilePlan(alg *expr.Algorithm) (*Plan, error) {
 		first[i], last[i] = nsteps, -1
 	}
 	touch := func(id string, s int) {
-		i := p.index[id]
+		i := lay.index[id]
 		if s < first[i] {
 			first[i] = s
 		}
@@ -117,11 +130,11 @@ func CompilePlan(alg *expr.Algorithm) (*Plan, error) {
 	}
 	persistent := make([]bool, n)
 	for _, id := range alg.Inputs {
-		if i, ok := p.index[id]; ok {
+		if i, ok := lay.index[id]; ok {
 			persistent[i] = true
 		}
 	}
-	persistent[p.output] = true
+	persistent[lay.output] = true
 	for i := range persistent {
 		if persistent[i] || last[i] < 0 {
 			first[i], last[i] = 0, nsteps
@@ -130,48 +143,67 @@ func CompilePlan(alg *expr.Algorithm) (*Plan, error) {
 
 	// Arena layout: a linear-scan first-fit allocator over the liveness
 	// intervals. Slots whose intervals are disjoint share storage.
-	sizes := make([]int, n)
-	for i, id := range order {
+	lay.sizes = make([]int, n)
+	for i, id := range lay.order {
 		sh := alg.Shapes[id]
-		sizes[i] = max(sh.Rows, 1) * sh.Cols
-		p.operandLen += sizes[i]
+		lay.sizes[i] = max(sh.Rows, 1) * sh.Cols
+		lay.operandLen += lay.sizes[i]
 	}
-	offsets, arenaLen := layoutArena(nsteps, first, last, sizes)
-	p.arena = make([]float64, arenaLen)
-	p.ops = make([]*mat.Dense, n)
-	for i, id := range order {
-		sh := alg.Shapes[id]
-		p.ops[i] = &mat.Dense{
-			Rows:   sh.Rows,
-			Cols:   sh.Cols,
-			Stride: max(sh.Rows, 1),
-			Data:   p.arena[offsets[i] : offsets[i]+sizes[i]],
-		}
-	}
+	lay.offsets, lay.arenaLen = layoutArena(nsteps, first, last, lay.sizes)
 
 	// Input refills, in the algorithm's declared input order.
 	spd := make(map[string]bool, len(alg.SPDInputs))
 	for _, id := range alg.SPDInputs {
 		spd[id] = true
 	}
-	scratch := 0
 	for _, id := range alg.Inputs {
-		i, ok := p.index[id]
+		i, ok := lay.index[id]
 		if !ok {
 			continue
 		}
 		kind := kernels.FillRandom
 		if spd[id] {
 			kind = kernels.FillSPD
-			if s := p.ops[i].Rows * p.ops[i].Rows; s > scratch {
-				scratch = s
+			sh := alg.Shapes[id]
+			if s := sh.Rows * sh.Rows; s > lay.scratchLen {
+				lay.scratchLen = s
 			}
 		}
-		p.fills = append(p.fills, planFill{idx: i, kind: kind})
+		lay.fills = append(lay.fills, planFill{idx: i, kind: kind})
 	}
-	p.spdScratch = make([]float64, scratch)
+	return lay, nil
+}
+
+// CompilePlan lowers the algorithm into a Plan. The algorithm is
+// validated first; compilation allocates everything an execution will
+// ever need, so Execute and ExecuteTimed are allocation-free afterwards.
+func CompilePlan(alg *expr.Algorithm) (*Plan, error) {
+	lay, err := compileLayout(alg)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		alg:        alg,
+		index:      lay.index,
+		operandLen: lay.operandLen,
+		output:     lay.output,
+		fills:      lay.fills,
+	}
+	p.arena = make([]float64, lay.arenaLen)
+	p.ops = make([]*mat.Dense, len(lay.order))
+	for i, id := range lay.order {
+		sh := alg.Shapes[id]
+		p.ops[i] = &mat.Dense{
+			Rows:   sh.Rows,
+			Cols:   sh.Cols,
+			Stride: max(sh.Rows, 1),
+			Data:   p.arena[lay.offsets[i] : lay.offsets[i]+lay.sizes[i]],
+		}
+	}
+	p.spdScratch = make([]float64, lay.scratchLen)
 
 	// Bind every call to a closure over its resolved operands.
+	nsteps := len(alg.Calls)
 	p.steps = make([]planStep, nsteps)
 	for s, c := range alg.Calls {
 		run, err := bindCall(c, func(id string) *mat.Dense { return p.ops[p.index[id]] })
@@ -327,25 +359,31 @@ func bindCall(c kernels.Call, get func(string) *mat.Dense) (func(), error) {
 	}
 }
 
+// fillOperand refills one operand in place according to its fill kind.
+// Shared by the single-instance and batched fill loops; it performs no
+// heap allocations (the SPD scratch buffer is sized at compile time).
+func fillOperand(m *mat.Dense, kind kernels.FillKind, spdScratch []float64, rng *xrand.Rand) {
+	switch kind {
+	case kernels.FillRandom:
+		m.FillRandom(rng)
+	case kernels.FillSPD:
+		m.FillSPD(spdScratch, rng)
+	case kernels.FillDiagDominant:
+		m.FillRandom(rng)
+		for i := 0; i < m.Rows; i++ {
+			m.Data[i+i*m.Stride] = 4 + rng.Float64()
+		}
+	case kernels.FillZero:
+		m.Zero()
+	}
+}
+
 // FillInputs refills every input operand in place from the deterministic
 // stream. It performs no heap allocations: the SPD scratch buffer was
 // sized at compile time.
 func (p *Plan) FillInputs(rng *xrand.Rand) {
 	for _, f := range p.fills {
-		m := p.ops[f.idx]
-		switch f.kind {
-		case kernels.FillRandom:
-			m.FillRandom(rng)
-		case kernels.FillSPD:
-			m.FillSPD(p.spdScratch, rng)
-		case kernels.FillDiagDominant:
-			m.FillRandom(rng)
-			for i := 0; i < m.Rows; i++ {
-				m.Data[i+i*m.Stride] = 4 + rng.Float64()
-			}
-		case kernels.FillZero:
-			m.Zero()
-		}
+		fillOperand(p.ops[f.idx], f.kind, p.spdScratch, rng)
 	}
 }
 
