@@ -69,6 +69,18 @@ type serveProc struct {
 // address on stderr, and returns the running process.
 func startServeProc(t *testing.T, extraEnv []string, args ...string) *serveProc {
 	t.Helper()
+	p, err := tryStartServeProc(t, extraEnv, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// tryStartServeProc is startServeProc returning the boot failure
+// instead of fataling, so callers racing for a reserved port (see
+// startServeOnReservedPort) can retry.
+func tryStartServeProc(t *testing.T, extraEnv []string, args ...string) (*serveProc, error) {
+	t.Helper()
 	cmd := osexec.Command(os.Args[0], "-test.run", "^TestChaosServeHelper$", "-test.v")
 	cmd.Env = append(os.Environ(),
 		serveHelperEnv+"=1",
@@ -76,10 +88,10 @@ func startServeProc(t *testing.T, extraEnv []string, args ...string) *serveProc 
 	cmd.Env = append(cmd.Env, extraEnv...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	p := &serveProc{t: t, cmd: cmd, done: make(chan error, 1)}
 	t.Cleanup(func() { _ = cmd.Process.Kill() })
@@ -101,11 +113,13 @@ func startServeProc(t *testing.T, extraEnv []string, args ...string) *serveProc 
 	}()
 	select {
 	case p.addr = <-addrc:
+		return p, nil
+	case <-p.done:
+		return nil, fmt.Errorf("server exited before announcing its address; stderr:\n%s", p.stderrText())
 	case <-time.After(20 * time.Second):
 		_ = cmd.Process.Kill()
-		t.Fatalf("server never announced its address; stderr:\n%s", p.stderrText())
+		return nil, fmt.Errorf("server never announced its address; stderr:\n%s", p.stderrText())
 	}
-	return p
 }
 
 func (p *serveProc) url(path string) string { return "http://" + p.addr + path }

@@ -1,13 +1,20 @@
 package main
 
-// lamb loadtest — a closed-loop load generator against a running
-// `lamb serve`. Each worker keeps one request in flight (query or
-// batch), so the measured latencies are per-request under a fixed
-// concurrency, not coordinated-omission-free open-loop numbers — the
-// right shape for capacity planning of the in-process engine. The
-// /api/stats counters are sampled before and after, so the report can
-// attribute throughput to cache layers (hit rates) and to the fused
-// batched path (coalesced / fused counters).
+// lamb loadtest — a load generator against a running `lamb serve` (or
+// `lamb route`). The default is closed-loop: each worker keeps one
+// request in flight, the right shape for capacity planning of the
+// in-process engine. With -rate N it runs open-loop instead: arrivals
+// are scheduled on a fixed uniform or Poisson clock and latency is
+// measured from each request's *intended* start, so tail latencies
+// under overload are honest (coordinated-omission-free) — a stalled
+// server cannot slow the arrival of the load that would expose it.
+// Arrivals that would exceed -max-outstanding are dropped and reported,
+// never silently queued. In both modes a 503's Retry-After is honored
+// (sleep, then retry, up to -retry-503 times) instead of hammering a
+// shedding server with an immediate retry storm; shed and retry counts
+// surface in the report. The /api/stats counters are sampled before and
+// after, so the report can attribute throughput to cache layers (hit
+// rates) and to the fused batched path (coalesced / fused counters).
 
 import (
 	"bytes"
@@ -15,9 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,18 +43,31 @@ func cmdLoadtest(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
 	target := fs.String("target", "http://127.0.0.1:8374", "base URL of the running lamb serve")
 	duration := fs.Duration("duration", 5*time.Second, "how long to generate load")
-	concurrency := fs.Int("concurrency", 4, "concurrent workers, one request in flight each")
+	concurrency := fs.Int("concurrency", 4, "closed-loop workers, one request in flight each (ignored when -rate > 0)")
 	batch := fs.Int("batch", 0, "queries per request: 0/1 = POST /api/query, >1 = POST /api/batch")
 	exprName := fs.String("expr", "aatb", "expression to query")
 	instStr := fs.String("instance", "24,16,8", "instance dimensions, e.g. 24,16,8")
 	strategy := fs.String("strategy", "", "selection strategy (empty = server default)")
 	spread := fs.Int("spread", 4, "distinct instances cycled through (first dimension stepped), so batches exercise more than one coalesced query")
 	timeoutMs := fs.Int("timeout-ms", 0, "per-request query deadline forwarded to the server (0 = none)")
+	rate := fs.Float64("rate", 0, "open-loop arrival rate in requests/s; latency is measured from each intended start (0 = closed loop)")
+	arrivals := fs.String("arrivals", "uniform", "open-loop arrival process: uniform or poisson")
+	maxOutstanding := fs.Int("max-outstanding", 256, "open-loop cap on in-flight requests; arrivals beyond it are dropped and reported, never queued")
+	retry503 := fs.Int("retry-503", 3, "times to honor a 503's Retry-After (sleep, retry) before giving the request up as shed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *concurrency < 1 || *duration <= 0 {
 		return fmt.Errorf("need -concurrency >= 1 and -duration > 0")
+	}
+	if *rate < 0 || (*rate > 0 && *maxOutstanding < 1) {
+		return fmt.Errorf("need -rate >= 0 and -max-outstanding >= 1")
+	}
+	if *arrivals != "uniform" && *arrivals != "poisson" {
+		return fmt.Errorf("unknown -arrivals %q (want uniform or poisson)", *arrivals)
+	}
+	if *retry503 < 0 {
+		*retry503 = 0
 	}
 	ex, err := lookupArity(*exprName)
 	if err != nil {
@@ -77,72 +99,42 @@ func cmdLoadtest(args []string) error {
 		return fmt.Errorf("target not reachable: %w", err)
 	}
 
-	var (
-		wg        sync.WaitGroup
-		reqCount  atomic.Uint64
-		errCount  atomic.Uint64
-		shedCount atomic.Uint64
-		latencies = make([][]float64, *concurrency)
-	)
-	deadline := time.Now().Add(*duration)
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			lats := make([]float64, 0, 4096)
-			for n := 0; time.Now().Before(deadline); n++ {
-				var body []byte
-				var path string
-				if *batch > 1 {
-					req := batchRequest{Queries: make([]engine.Query, *batch), TimeoutMs: *timeoutMs}
-					for i := range req.Queries {
-						req.Queries[i] = queries[(n+i)%len(queries)]
-					}
-					body, _ = json.Marshal(req)
-					path = "/api/batch"
-				} else {
-					req := queryRequest{Query: queries[n%len(queries)], TimeoutMs: *timeoutMs}
-					body, _ = json.Marshal(req)
-					path = "/api/query"
-				}
-				start := time.Now()
-				resp, err := client.Post(*target+path, "application/json", bytes.NewReader(body))
-				elapsed := time.Since(start).Seconds()
-				reqCount.Add(1)
-				if err != nil {
-					errCount.Add(1)
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				switch {
-				case resp.StatusCode == http.StatusServiceUnavailable:
-					// Load shedding is the server working as designed;
-					// counted separately so saturation is visible without
-					// polluting the error column.
-					shedCount.Add(1)
-					continue
-				case resp.StatusCode != http.StatusOK:
-					errCount.Add(1)
-					continue
-				}
-				lats = append(lats, elapsed)
+	// nextRequest builds the n-th request of the cycled mix; shared by
+	// the closed- and open-loop generators.
+	nextRequest := func(n int) (path string, body []byte) {
+		if *batch > 1 {
+			req := batchRequest{Queries: make([]engine.Query, *batch), TimeoutMs: *timeoutMs}
+			for i := range req.Queries {
+				req.Queries[i] = queries[(n+i)%len(queries)]
 			}
-			latencies[w] = lats
-		}(w)
+			body, _ = json.Marshal(req)
+			return "/api/batch", body
+		}
+		req := queryRequest{Query: queries[n%len(queries)], TimeoutMs: *timeoutMs}
+		body, _ = json.Marshal(req)
+		return "/api/query", body
 	}
-	wg.Wait()
+
+	var counts loadCounts
+	deadline := time.Now().Add(*duration)
+	var all []float64
+	if *rate > 0 {
+		all = runOpenLoop(client, *target, nextRequest, openLoopConfig{
+			rate:           *rate,
+			poisson:        *arrivals == "poisson",
+			maxOutstanding: *maxOutstanding,
+			retry503:       *retry503,
+			deadline:       deadline,
+		}, &counts)
+	} else {
+		all = runClosedLoop(client, *target, nextRequest, *concurrency, *retry503, deadline, &counts)
+	}
 	after, err := fetchStats(client, *target)
 	if err != nil {
 		return err
 	}
 
-	var all []float64
-	for _, l := range latencies {
-		all = append(all, l...)
-	}
 	sort.Float64s(all)
-	reqs := reqCount.Load()
 	qPerReq := 1
 	if *batch > 1 {
 		qPerReq = *batch
@@ -150,21 +142,35 @@ func cmdLoadtest(args []string) error {
 	okReqs := uint64(len(all))
 	secs := duration.Seconds()
 
-	fmt.Printf("lamb loadtest — %s for %s, %d workers, %d queries/request\n\n",
-		*target, *duration, *concurrency, qPerReq)
-	rows := [][]string{
-		{"requests", fmt.Sprint(reqs)},
-		{"ok", fmt.Sprint(okReqs)},
-		{"shed (503)", fmt.Sprint(shedCount.Load())},
-		{"errors", fmt.Sprint(errCount.Load())},
-		{"requests/s", fmt.Sprintf("%.1f", float64(okReqs)/secs)},
-		{"queries/s", fmt.Sprintf("%.1f", float64(okReqs)*float64(qPerReq)/secs)},
-		{"p50 latency", fmtLatency(percentile(all, 0.50))},
-		{"p90 latency", fmtLatency(percentile(all, 0.90))},
-		{"p99 latency", fmtLatency(percentile(all, 0.99))},
-		{"p99.9 latency", fmtLatency(percentile(all, 0.999))},
-		{"max latency", fmtLatency(percentile(all, 1))},
+	if *rate > 0 {
+		fmt.Printf("lamb loadtest — %s for %s, open loop at %g req/s (%s arrivals), %d queries/request\n\n",
+			*target, *duration, *rate, *arrivals, qPerReq)
+	} else {
+		fmt.Printf("lamb loadtest — %s for %s, %d workers, %d queries/request\n\n",
+			*target, *duration, *concurrency, qPerReq)
 	}
+	rows := [][]string{
+		{"requests", fmt.Sprint(counts.requests.Load())},
+		{"ok", fmt.Sprint(okReqs)},
+		{"shed (503)", fmt.Sprint(counts.shed.Load())},
+		{"retries (Retry-After)", fmt.Sprint(counts.retries.Load())},
+		{"errors", fmt.Sprint(counts.errors.Load())},
+	}
+	if *rate > 0 {
+		rows = append(rows,
+			[]string{"dropped (outstanding cap)", fmt.Sprint(counts.dropped.Load())},
+			[]string{"late sends", fmt.Sprint(counts.late.Load())},
+		)
+	}
+	rows = append(rows,
+		[]string{"requests/s", fmt.Sprintf("%.1f", float64(okReqs)/secs)},
+		[]string{"queries/s", fmt.Sprintf("%.1f", float64(okReqs)*float64(qPerReq)/secs)},
+		[]string{"p50 latency", fmtLatency(percentile(all, 0.50))},
+		[]string{"p90 latency", fmtLatency(percentile(all, 0.90))},
+		[]string{"p99 latency", fmtLatency(percentile(all, 0.99))},
+		[]string{"p99.9 latency", fmtLatency(percentile(all, 0.999))},
+		[]string{"max latency", fmtLatency(percentile(all, 1))},
+	)
 	if err := report.Table(os.Stdout, rows); err != nil {
 		return err
 	}
@@ -188,10 +194,178 @@ func cmdLoadtest(args []string) error {
 	}
 	fmt.Printf("\nqueries %d  deduped %d  coalesced %d  fused %d  degraded %d\n",
 		d.Queries, d.Deduped, d.Coalesced, d.FusedQueries, d.DegradedQueries)
-	if errCount.Load() > 0 {
-		return fmt.Errorf("%d request(s) failed", errCount.Load())
+	if n := counts.errors.Load(); n > 0 {
+		return fmt.Errorf("%d request(s) failed", n)
 	}
 	return nil
+}
+
+// loadCounts aggregates the run's outcome counters across generators.
+type loadCounts struct {
+	requests atomic.Uint64 // arrivals, including dropped ones
+	errors   atomic.Uint64 // transport errors and non-200/503 statuses
+	shed     atomic.Uint64 // 503 responses observed (including retried ones)
+	retries  atomic.Uint64 // Retry-After sleeps taken before re-sending
+	dropped  atomic.Uint64 // open loop: arrivals past the outstanding cap
+	late     atomic.Uint64 // open loop: sends more than one mean gap behind schedule
+}
+
+// sendShedAware posts one request, honoring Retry-After on 503: sleep
+// as the server asked (capped at the run deadline), then retry, up to
+// maxRetries times. Returns the final status; a 503 that survives the
+// retry budget is the caller's signal the request was shed for good.
+func sendShedAware(client *http.Client, url string, body []byte, maxRetries int, deadline time.Time, c *loadCounts) (int, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		status := resp.StatusCode
+		wait := retryAfter(resp)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if status != http.StatusServiceUnavailable {
+			return status, nil
+		}
+		// Load shedding is the server working as designed; counted
+		// separately so saturation is visible without polluting the
+		// error column.
+		c.shed.Add(1)
+		if attempt >= maxRetries || time.Now().Add(wait).After(deadline) {
+			return status, nil
+		}
+		c.retries.Add(1)
+		time.Sleep(wait)
+	}
+}
+
+// retryAfter reads a 503's Retry-After (delay-seconds form, the shape
+// serve and route emit); absent or malformed falls back to one second.
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return time.Second
+}
+
+// runClosedLoop keeps one request in flight per worker until the
+// deadline; latency is measured from the send (including any honored
+// Retry-After waits, which a real client would also experience).
+func runClosedLoop(client *http.Client, target string, nextRequest func(int) (string, []byte), workers, retry503 int, deadline time.Time, c *loadCounts) []float64 {
+	var wg sync.WaitGroup
+	latencies := make([][]float64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]float64, 0, 4096)
+			for n := 0; time.Now().Before(deadline); n++ {
+				path, body := nextRequest(n)
+				start := time.Now()
+				status, err := sendShedAware(client, target+path, body, retry503, deadline, c)
+				elapsed := time.Since(start).Seconds()
+				c.requests.Add(1)
+				switch {
+				case err != nil:
+					c.errors.Add(1)
+				case status == http.StatusServiceUnavailable:
+					// shed already counted per response
+				case status != http.StatusOK:
+					c.errors.Add(1)
+				default:
+					lats = append(lats, elapsed)
+				}
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	var all []float64
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	return all
+}
+
+type openLoopConfig struct {
+	rate           float64
+	poisson        bool
+	maxOutstanding int
+	retry503       int
+	deadline       time.Time
+}
+
+// runOpenLoop schedules arrivals on a fixed clock (uniform spacing, or
+// exponential gaps for a Poisson process) independent of how the server
+// is doing, and measures each latency from the request's *intended*
+// start. That kills coordinated omission: a server that stalls keeps
+// accumulating scheduled arrivals against it, and the queueing delay of
+// the requests it forced to wait shows up in the tail percentiles
+// instead of silently throttling the generator. Arrivals that can't be
+// sent because maxOutstanding requests are already in flight are
+// dropped and counted — queueing them would quietly turn the generator
+// back into a closed loop.
+func runOpenLoop(client *http.Client, target string, nextRequest func(int) (string, []byte), cfg openLoopConfig, c *loadCounts) []float64 {
+	meanGap := time.Duration(float64(time.Second) / cfg.rate)
+	if meanGap <= 0 {
+		meanGap = time.Nanosecond
+	}
+	nextGap := func() time.Duration {
+		if cfg.poisson {
+			return time.Duration(rand.ExpFloat64() * float64(meanGap))
+		}
+		return meanGap
+	}
+
+	var (
+		wg          sync.WaitGroup
+		mu          sync.Mutex
+		lats        []float64
+		outstanding atomic.Int64
+	)
+	n := 0
+	for intended := time.Now(); intended.Before(cfg.deadline); intended = intended.Add(nextGap()) {
+		if d := time.Until(intended); d > 0 {
+			time.Sleep(d)
+		} else if -d > meanGap {
+			// The generator itself fell more than one mean gap behind
+			// schedule (scheduler jitter, GC): the send is late and the
+			// measured latency already includes that slip. Reported so
+			// a saturated *generator* can't masquerade as a fast server.
+			c.late.Add(1)
+		}
+		c.requests.Add(1)
+		path, body := nextRequest(n)
+		n++
+		if outstanding.Load() >= int64(cfg.maxOutstanding) {
+			c.dropped.Add(1)
+			continue
+		}
+		outstanding.Add(1)
+		wg.Add(1)
+		go func(intended time.Time, path string, body []byte) {
+			defer wg.Done()
+			defer outstanding.Add(-1)
+			status, err := sendShedAware(client, target+path, body, cfg.retry503, cfg.deadline, c)
+			elapsed := time.Since(intended).Seconds()
+			switch {
+			case err != nil:
+				c.errors.Add(1)
+			case status == http.StatusServiceUnavailable:
+				// shed already counted per response
+			case status != http.StatusOK:
+				c.errors.Add(1)
+			default:
+				mu.Lock()
+				lats = append(lats, elapsed)
+				mu.Unlock()
+			}
+		}(intended, path, body)
+	}
+	wg.Wait()
+	return lats
 }
 
 // lookupArity resolves an expression name to its arity for instance

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"lamb/internal/engine"
@@ -51,5 +53,70 @@ func TestLoadtestAgainstServeQuery(t *testing.T) {
 	srv.Close()
 	if err := cmdLoadtest([]string{"-target", srv.URL, "-duration", "50ms"}); err == nil {
 		t.Error("unreachable target did not fail")
+	}
+}
+
+// TestLoadtestOpenLoop runs the -rate open-loop mode (both arrival
+// processes) against an in-process serve and checks arrivals were
+// scheduled and answered, plus the flag validation paths.
+func TestLoadtestOpenLoop(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	srv := httptest.NewServer(serveMux(eng))
+	defer srv.Close()
+	for _, arrivals := range []string{"uniform", "poisson"} {
+		err := cmdLoadtest([]string{
+			"-target", srv.URL, "-duration", "250ms", "-rate", "200",
+			"-arrivals", arrivals, "-expr", "aatb", "-instance", "16,8,8",
+		})
+		if err != nil {
+			t.Fatalf("open loop (%s arrivals): %v", arrivals, err)
+		}
+	}
+	if eng.Stats().Queries == 0 {
+		t.Error("no queries reached the engine")
+	}
+	for _, bad := range [][]string{
+		{"-target", srv.URL, "-rate", "-1"},
+		{"-target", srv.URL, "-rate", "100", "-max-outstanding", "0"},
+		{"-target", srv.URL, "-arrivals", "bursty"},
+	} {
+		if err := cmdLoadtest(bad); err == nil {
+			t.Errorf("args %v did not fail", bad)
+		}
+	}
+}
+
+// TestLoadtestHonorsRetryAfter scripts a server that sheds each client's
+// first attempt with a 503 + Retry-After: 0 and serves the retry. With
+// the retry budget on, every request must eventually succeed (cmdLoadtest
+// errors otherwise) — the generator slept as told instead of counting
+// the shed as terminal.
+func TestLoadtestHonorsRetryAfter(t *testing.T) {
+	eng := engine.New(engine.Config{})
+	mux := serveMux(eng)
+	var hits atomic.Uint64
+	var sheds atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/api/query" && hits.Add(1)%2 == 1 {
+			sheds.Add(1)
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "shedding", http.StatusServiceUnavailable)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	err := cmdLoadtest([]string{
+		"-target", srv.URL, "-duration", "150ms", "-concurrency", "1",
+		"-retry-503", "2", "-expr", "aatb", "-instance", "16,8,8",
+	})
+	if err != nil {
+		t.Fatalf("cmdLoadtest with Retry-After shedding: %v", err)
+	}
+	if sheds.Load() == 0 {
+		t.Fatal("server never shed — test exercised nothing")
+	}
+	if eng.Stats().Queries == 0 {
+		t.Error("no retried queries reached the engine")
 	}
 }

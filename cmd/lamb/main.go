@@ -22,12 +22,18 @@
 //	serve      HTTP JSON selection endpoint over the cached query engine;
 //	           -profile enables min-predicted and adaptive strategies,
 //	           POST /api/feedback records measured outcomes
+//	route      fault-tolerant shard router over -backends serve URLs:
+//	           consistent hashing by (expression, shape octave), health
+//	           probes, circuit breakers, retries with backoff, optional
+//	           hedging (-hedge-after) and outcome gossip (-merge-every)
 //	bench      kernel benchmark grid (BENCH_<n>.json with -json; whole-
 //	           algorithm timings with -algs; fused-vs-sequential batch
 //	           grid with -batch; diff two reports with
 //	           -compare OLD.json NEW.json)
-//	loadtest   closed-loop load generator against a running serve:
-//	           latency percentiles, throughput, cache-hit-rate deltas
+//	loadtest   load generator against a running serve or route: closed
+//	           loop by default, coordinated-omission-free open loop with
+//	           -rate N (uniform or Poisson arrivals); honors Retry-After
+//	           on 503; latency percentiles, throughput, cache deltas
 //	all        the full paper pipeline for both of the paper's expressions
 //
 // The generated expressions extend the study beyond the paper: lstsq
@@ -84,6 +90,8 @@ func main() {
 		err = cmdProfile(args)
 	case "serve":
 		err = cmdServe(args)
+	case "route":
+		err = cmdRoute(args)
 	case "bench":
 		err = cmdBench(args)
 	case "loadtest":
@@ -119,11 +127,16 @@ subcommands:
   serve      HTTP JSON selection endpoint over the query engine
              (-profile serves min-predicted/adaptive, /api/feedback
              records outcomes)
+  route      shard router over -backends serve URLs: consistent
+             hashing, health probes, breakers, retries, hedging, and
+             outcome gossip; degrades to a local min-flops engine
   bench      kernel benchmark grid (writes BENCH_<n>.json with -json;
              -algs times whole algorithms; -batch runs the fused-vs-
              sequential batch grid; -compare OLD NEW diffs reports)
-  loadtest   drive a running serve with query/batch traffic and report
-             latency percentiles, throughput, and cache hit rates
+  loadtest   drive a running serve/route with query/batch traffic and
+             report latency percentiles, throughput, and cache hit
+             rates; -rate N switches to an open-loop arrival schedule
+             (coordinated-omission-free), 503 Retry-After is honored
   all        full paper pipeline
 
 run 'lamb <subcommand> -h' for flags`)

@@ -1,0 +1,341 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"lamb/internal/engine"
+	"lamb/internal/faultinject"
+	"lamb/internal/outcomes"
+	"lamb/internal/router"
+)
+
+// Router chaos: the distributed tier's acceptance tests. A real backend
+// dies by SIGKILL under live traffic and the router sheds nothing;
+// gossip propagates feedback between backends and the merged evidence
+// survives a backend restart. Named TestRouterChaos* for the dedicated
+// CI job (`-run RouterChaos`); the broader `-run Chaos` job matches
+// them too.
+
+// freePort reserves an address a restarted backend can reuse — the
+// router's backend list is fixed, so a backend that dies must come back
+// on the same port to rejoin the fleet.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startServeOnReservedPort boots a serve on a freshly reserved port,
+// retrying with a new port if another process steals it between the
+// reservation and the bind (the address stays stable afterwards, so a
+// SIGKILL'd backend can restart on proc.addr). extraArgs must not
+// include -addr.
+func startServeOnReservedPort(t *testing.T, extraArgs ...string) *serveProc {
+	t.Helper()
+	for attempt := 0; attempt < 5; attempt++ {
+		args := append([]string{"-addr", freePort(t)}, extraArgs...)
+		p, err := tryStartServeProc(t, nil, args...)
+		if err == nil {
+			return p
+		}
+		if !strings.Contains(err.Error(), "address already in use") {
+			t.Fatal(err)
+		}
+	}
+	t.Fatal("could not bind a reserved port in 5 attempts")
+	return nil
+}
+
+// chaosRouter builds an in-process router over the given backends with
+// chaos-friendly timings: fast probes, tiny backoffs, a local fallback.
+func chaosRouter(t *testing.T, backends ...string) *router.Router {
+	t.Helper()
+	rt, err := router.New(router.Config{
+		Backends:     backends,
+		ProbeEvery:   50 * time.Millisecond,
+		ProbeTimeout: 200 * time.Millisecond,
+		DownAfter:    2,
+		BackoffBase:  time.Millisecond,
+		BackoffMax:   5 * time.Millisecond,
+		Local:        engine.New(engine.Config{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// backendStats pulls one backend's row out of the router stats.
+func backendStats(rt *router.Router, url string) router.BackendStats {
+	for _, b := range rt.Stats().Backends {
+		if b.URL == url {
+			return b
+		}
+	}
+	return router.BackendStats{}
+}
+
+// TestRouterChaosKillBackendMidTraffic is the headline acceptance test:
+// two live backends, continuous traffic, SIGKILL one — every response
+// stays 200 (in-flight requests to the corpse are retried onto the
+// survivor), the breaker opens within the probe interval, and a restart
+// on the same port rejoins automatically with traffic following.
+func TestRouterChaosKillBackendMidTraffic(t *testing.T) {
+	a := startServeProc(t, nil, "-addr", "127.0.0.1:0", "-profile", ciProfile)
+	b := startServeOnReservedPort(t, "-profile", ciProfile)
+	urlA, urlB := "http://"+a.addr, "http://"+b.addr
+	rt := chaosRouter(t, urlA, urlB)
+	rt.Start()
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	// One traffic round sprays queries across shard keys (octaves), so
+	// both backends own some of them. Every response must be 200.
+	round := func(phase string) {
+		t.Helper()
+		for d := 16; d <= 1<<13; d *= 2 {
+			resp, body, err := postJSONRaw(front.URL+"/api/query", engine.Query{
+				Expr: "aatb", Instance: []int{d, d + 1, d + 2},
+			})
+			if err != nil {
+				t.Fatalf("%s: query d=%d: %v", phase, d, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s: query d=%d status %d: %s", phase, d, resp.StatusCode, body)
+			}
+		}
+	}
+	round("both up")
+	if bs := backendStats(rt, urlB); bs.Forwards == 0 {
+		t.Fatalf("backend B never reached while healthy: %+v", bs)
+	}
+
+	// Kill B without warning and keep traffic flowing through the
+	// transition: requests racing the probe's discovery must be retried
+	// onto A, never surfaced as errors.
+	b.signal(syscall.SIGKILL)
+	b.wait(10 * time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	opened := false
+	for time.Now().Before(deadline) && !opened {
+		round("B dead, probe racing")
+		bs := backendStats(rt, urlB)
+		opened = !bs.Up && bs.Breaker == "open"
+	}
+	if !opened {
+		t.Fatalf("breaker never opened after the kill: %+v", backendStats(rt, urlB))
+	}
+	if s := rt.Stats(); s.Retries == 0 {
+		t.Fatalf("traffic through the kill recorded no retries: %+v", s)
+	}
+	// With B down and its breaker open, traffic flows without touching
+	// the corpse.
+	before := backendStats(rt, urlB).Forwards
+	round("B down")
+	if got := backendStats(rt, urlB).Forwards; got != before {
+		t.Fatalf("down backend still receiving forwards: %d -> %d", before, got)
+	}
+
+	// Restart on the same port: the probe notices, the breaker closes,
+	// and B serves its shards again — no operator action.
+	b2 := startServeProc(t, nil, "-addr", b.addr, "-profile", ciProfile)
+	_ = b2
+	waitFor(t, 10*time.Second, "probe-driven recovery", func() bool {
+		bs := backendStats(rt, urlB)
+		return bs.Up && bs.Breaker == "closed"
+	})
+	before = backendStats(rt, urlB).Forwards
+	round("B recovered")
+	if got := backendStats(rt, urlB).Forwards; got <= before {
+		t.Fatalf("recovered backend got no traffic: %d -> %d", before, got)
+	}
+}
+
+// TestRouterChaosMergePropagatesAcrossRestart: feedback taught to one
+// backend reaches the other through a gossip round, informs its
+// adaptive selection, rides its durability snapshot through a SIGKILL,
+// and is restored on restart.
+func TestRouterChaosMergePropagatesAcrossRestart(t *testing.T) {
+	outPath := t.TempDir() + "/outcomes-b.json"
+	a := startServeProc(t, nil, "-addr", "127.0.0.1:0", "-profile", ciProfile)
+	extraB := []string{"-profile", ciProfile,
+		"-outcomes", outPath, "-snapshot-every", "50ms"}
+	b := startServeOnReservedPort(t, extraB...)
+	urlA, urlB := "http://"+a.addr, "http://"+b.addr
+	rt := chaosRouter(t, urlA, urlB)
+
+	// Teach A: three algorithms' outcomes at one instance.
+	const algs = 3
+	for rep := 0; rep < 2; rep++ {
+		for alg := 1; alg <= algs; alg++ {
+			resp, body, err := postJSONRaw(urlA+"/api/feedback", engine.Feedback{
+				Expr: "aatb", Instance: []int{80, 514, 768}, Algorithm: alg, Seconds: float64(alg) * 1e-3,
+			})
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("feedback: %v %s", err, body)
+			}
+		}
+	}
+
+	// One synchronous gossip round: A's local evidence lands on B.
+	rt.MergeRound(context.Background())
+	if s := rt.Stats(); s.MergedOutcomes != algs || s.MergeErrors != 0 {
+		t.Fatalf("gossip counters %+v, want %d merged", s, algs)
+	}
+	stats, err := procStats(urlB + "/api/stats")
+	if err != nil || stats.MergeRequests == 0 || stats.MergedOutcomes != algs {
+		t.Fatalf("B merge stats %+v (err %v)", stats, err)
+	}
+	// The merged evidence informs B's adaptive selection.
+	resp, body, err := postJSONRaw(urlB+"/api/query", engine.Query{
+		Expr: "aatb", Instance: []int{80, 514, 768}, Strategy: "adaptive",
+	})
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("adaptive on B: %v %s", err, body)
+	}
+	if stats, err = procStats(urlB + "/api/stats"); err != nil || stats.AdaptiveInformed != 1 {
+		t.Fatalf("merged evidence did not inform B: %+v (err %v)", stats, err)
+	}
+
+	// Wait for B's durability snapshot to hold the merged (source-
+	// tagged) streams, then SIGKILL it.
+	waitFor(t, 10*time.Second, "snapshot to contain merged streams", func() bool {
+		snap, err := outcomes.ReadFile(outPath)
+		if err != nil {
+			return false
+		}
+		sourced := 0
+		for _, rec := range snap.Records {
+			for _, o := range rec.Outcomes {
+				if o.Source == urlA {
+					sourced++
+				}
+			}
+		}
+		return sourced == algs
+	})
+	b.signal(syscall.SIGKILL)
+	if code := b.wait(10 * time.Second); code == 0 {
+		t.Fatal("SIGKILL'd backend reported a clean exit")
+	}
+
+	// Restart on the same port and outcomes file: the fleet-learned
+	// evidence is back and still informs selection.
+	b2 := startServeProc(t, nil, append([]string{"-addr", b.addr}, extraB...)...)
+	stats, err = procStats(b2.url("/api/stats"))
+	if err != nil || stats.FeedbackRestored != algs {
+		t.Fatalf("restored stats %+v (err %v), want %d restored", stats, err, algs)
+	}
+	resp, body, err = postJSONRaw(b2.url("/api/query"), engine.Query{
+		Expr: "aatb", Instance: []int{80, 514, 768}, Strategy: "adaptive",
+	})
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("adaptive after restart: %v %s", err, body)
+	}
+	if stats, err = procStats(b2.url("/api/stats")); err != nil || stats.AdaptiveInformed != 1 {
+		t.Fatalf("restored merge evidence did not inform B: %+v (err %v)", stats, err)
+	}
+}
+
+// TestRouterChaosAllBackendsDownDegradesLocally: with the whole fleet
+// dark the router answers from its local engine — 200, min-flops,
+// stamped "no-backend" — instead of shedding.
+func TestRouterChaosAllBackendsDownDegradesLocally(t *testing.T) {
+	rt := chaosRouter(t, "http://127.0.0.1:9", "http://127.0.0.1:10")
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	resp, body, err := postJSONRaw(front.URL+"/api/query", engine.Query{
+		Expr: "aatb", Instance: []int{80, 514, 768}, Strategy: "adaptive",
+	})
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("query with fleet dark: %v %d %s", err, resp.StatusCode, body)
+	}
+	var rec engine.Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Degraded != router.DegradedNoBackend || rec.Strategy != "min-flops" || rec.Requested != "adaptive" {
+		t.Fatalf("degraded record %+v", rec)
+	}
+	if s := rt.Stats(); s.DegradedQueries == 0 {
+		t.Fatalf("degradation not counted: %+v", s)
+	}
+}
+
+// TestRouterChaosForwardFaultInjection: the "router.forward" failpoint
+// fails every forward attempt without a real network fault; the router
+// still answers every query from the local floor.
+func TestRouterChaosForwardFaultInjection(t *testing.T) {
+	if err := faultinject.Arm("router.forward", "error:injected transport fault"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Reset)
+	backend := httptest.NewServer(serveMux(engine.New(engine.Config{})))
+	t.Cleanup(backend.Close)
+	rt := chaosRouter(t, backend.URL)
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+
+	for i := 0; i < 5; i++ {
+		resp, body, err := postJSONRaw(front.URL+"/api/query", engine.Query{
+			Expr: "aatb", Instance: []int{40 + i, 50, 60},
+		})
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d under injected faults: %v %d %s", i, err, resp.StatusCode, body)
+		}
+		var rec engine.Record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Degraded != router.DegradedNoBackend {
+			t.Fatalf("query %d not degraded: %+v", i, rec)
+		}
+	}
+	if hits := faultinject.Hits("router.forward"); hits == 0 {
+		t.Fatal("failpoint never fired")
+	}
+	if s := rt.Stats(); s.DegradedQueries != 5 {
+		t.Fatalf("degraded count %d, want 5", s.DegradedQueries)
+	}
+}
+
+// TestRouterChaosMergeFaultInjection: a failing gossip round is counted
+// and contained — the next round succeeds and converges.
+func TestRouterChaosMergeFaultInjection(t *testing.T) {
+	mkBackend := func() *httptest.Server {
+		srv := httptest.NewServer(serveMux(engine.New(engine.Config{})))
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	a, b := mkBackend(), mkBackend()
+	rt := chaosRouter(t, a.URL, b.URL)
+
+	if err := faultinject.Arm("router.merge", "error:injected gossip fault"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.Reset)
+	rt.MergeRound(context.Background())
+	s := rt.Stats()
+	if s.MergeErrors == 0 || s.MergedOutcomes != 0 {
+		t.Fatalf("faulted round: %+v", s)
+	}
+	faultinject.Reset()
+	rt.MergeRound(context.Background())
+	if s := rt.Stats(); s.MergeRounds != 2 || s.MergeErrors != 2 {
+		t.Fatalf("recovered round: %+v", s)
+	}
+}

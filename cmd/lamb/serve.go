@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -39,8 +40,14 @@ import (
 //	                        "timeout_ms" bounds the query
 //	POST /api/batch         {"queries": [...]} -> {"results": [...]}
 //	POST /api/feedback      one engine.Feedback measured outcome
+//	GET  /api/outcomes      schema-versioned snapshot of this process's
+//	                        own (firsthand) outcome evidence — the
+//	                        gossip export a router pulls
 //	POST /api/admin/reload  re-read the -profile store and atomically
 //	                        swap it in (also triggered by SIGHUP)
+//	POST /api/admin/merge   install a peer's outcome snapshot as
+//	                        evidence attributed to ?source=URL, weights
+//	                        discounted by ?scale=F; idempotent
 //
 // With -profile FILE the persisted kernel-profile store is loaded at
 // startup, so min-predicted and adaptive queries are answered without
@@ -299,10 +306,12 @@ func (s *server) handler() http.Handler {
 			},
 		})
 	})
+	mux.HandleFunc("GET /api/outcomes", s.handleOutcomes)
 	mux.HandleFunc("POST /api/query", s.handleQuery)
 	mux.HandleFunc("POST /api/batch", s.handleBatch)
 	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
 	mux.HandleFunc("POST /api/admin/reload", s.handleReload)
+	mux.HandleFunc("POST /api/admin/merge", s.handleMerge)
 	return s.recoverPanics(mux)
 }
 
@@ -456,6 +465,55 @@ func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleOutcomes exports this process's firsthand feedback as a
+// schema-versioned outcome snapshot — the gossip feed a router (or an
+// operator's curl) pulls to spread one shard's learning fleet-wide.
+// Only local evidence is exported: merged peer evidence stays out of
+// the feed so gossip cannot echo it around the fleet.
+func (s *server) handleOutcomes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.SnapshotLocalOutcomes())
+}
+
+// handleMerge installs a peer's outcome snapshot as evidence attributed
+// to ?source=URL, optionally discounted by ?scale=F in (0,1]. The merge
+// is idempotent — re-POSTing a snapshot is a no-op, a newer one from
+// the same source supersedes the old — so retries and overlapping
+// gossip rounds are safe.
+func (s *server) handleMerge(w http.ResponseWriter, r *http.Request) {
+	source := r.URL.Query().Get("source")
+	if source == "" {
+		writeError(w, http.StatusBadRequest, errors.New("merge requires ?source=<peer identity>"))
+		return
+	}
+	scale := 1.0
+	if raw := r.URL.Query().Get("scale"); raw != "" {
+		v, err := strconv.ParseFloat(raw, 64)
+		if err != nil || !(v > 0 && v <= 1) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("scale %q must be a number in (0, 1]", raw))
+			return
+		}
+		scale = v
+	}
+	snap, err := outcomes.DecodeSnapshot(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad snapshot: %w", err))
+		return
+	}
+	// Chaos hook: the suite arms "serve.merge" to fail the install and
+	// assert gossip errors stay contained.
+	if err := faultinject.Fire("serve.merge"); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	merged, skipped := s.eng.MergeOutcomes(source, snap, scale)
+	writeJSON(w, http.StatusOK, map[string]int{"merged": merged, "skipped": skipped})
 }
 
 // handleReload re-reads the -profile store and swaps it in atomically;

@@ -202,6 +202,10 @@ type Stats struct {
 	// FeedbackRestored counts outcomes restored from a snapshot at boot
 	// (Engine.RestoreOutcomes), as opposed to fed back live.
 	FeedbackRestored uint64 `json:"feedback_restored"`
+	// MergeRequests counts Engine.MergeOutcomes calls (peer snapshots
+	// merged in); MergedOutcomes counts the outcomes they installed.
+	MergeRequests  uint64 `json:"merge_requests"`
+	MergedOutcomes uint64 `json:"merged_outcomes"`
 	// Profile is the provenance of the loaded profile store (nil when
 	// the engine serves without profiles).
 	Profile *ProfileInfo `json:"profile,omitempty"`
@@ -294,6 +298,8 @@ type Engine struct {
 	outcomes         *outcomes.Store
 	feedback         atomic.Uint64
 	restored         atomic.Uint64
+	mergeReqs        atomic.Uint64
+	mergedOut        atomic.Uint64
 	adaptiveQueries  atomic.Uint64
 	adaptiveInformed atomic.Uint64
 	degraded         atomic.Uint64
@@ -875,6 +881,8 @@ func (e *Engine) Stats() Stats {
 	s.AdaptiveInformed = e.adaptiveInformed.Load()
 	s.DegradedQueries = e.degraded.Load()
 	s.FeedbackRestored = e.restored.Load()
+	s.MergeRequests = e.mergeReqs.Load()
+	s.MergedOutcomes = e.mergedOut.Load()
 	if st := e.prof.Load(); st != nil {
 		s.Profile = st.info
 	}

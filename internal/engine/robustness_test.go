@@ -234,3 +234,77 @@ func TestEngineSnapshotRestoreOutcomes(t *testing.T) {
 		t.Fatalf("restored engine picks %d, source picked %d", rec.Selected.Index, steered.Selected.Index)
 	}
 }
+
+// TestEngineMergeOutcomes drives the gossip loop at the engine level:
+// feedback on one engine, local snapshot out, merge into a second
+// engine, and the merged evidence steers the receiver's adaptive
+// queries. Merging is idempotent, counted in stats, and the receiver's
+// own local export excludes the peer's evidence (anti-echo).
+func TestEngineMergeOutcomes(t *testing.T) {
+	a := profiledEngine(t, Config{})
+	inst := expr.Instance{80, 514, 768}
+	base, err := a.Query(Query{Expr: "aatb", Instance: inst, Strategy: "adaptive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		for alg := 1; alg <= base.NumAlgorithms; alg++ {
+			sec := 1e-6
+			if alg == base.Selected.Index {
+				sec = 10.0
+			}
+			if err := a.Feedback(Feedback{Expr: "aatb", Instance: inst, Algorithm: alg, Seconds: sec}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	steered, err := a.Query(Query{Expr: "aatb", Instance: inst, Strategy: "adaptive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steered.Selected.Index == base.Selected.Index {
+		t.Fatal("feedback did not steer the source engine")
+	}
+
+	snap := a.SnapshotLocalOutcomes()
+	b := profiledEngine(t, Config{})
+	merged, skipped := b.MergeOutcomes("http://peer-a", snap, 1)
+	if merged != base.NumAlgorithms || skipped != 0 {
+		t.Fatalf("merged %d skipped %d, want %d/0", merged, skipped, base.NumAlgorithms)
+	}
+	rec, err := b.Query(Query{Expr: "aatb", Instance: inst, Strategy: "adaptive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Selected.Index != steered.Selected.Index {
+		t.Fatalf("merged engine picks %d, source picked %d", rec.Selected.Index, steered.Selected.Index)
+	}
+
+	// Re-delivery is a no-op on the evidence and visible in the counters.
+	b.MergeOutcomes("http://peer-a", snap, 1)
+	s := b.Stats()
+	if s.MergeRequests != 2 || s.MergedOutcomes != uint64(2*base.NumAlgorithms) {
+		t.Fatalf("merge counters requests=%d outcomes=%d", s.MergeRequests, s.MergedOutcomes)
+	}
+	if s.AdaptiveInformed == 0 {
+		t.Fatal("merged evidence did not inform the adaptive query")
+	}
+	if s.FeedbackInstances != 1 {
+		t.Fatalf("feedback instances %d", s.FeedbackInstances)
+	}
+
+	// b's gossip export carries only its own (empty) firsthand evidence;
+	// its durability snapshot keeps the merged streams, source-tagged.
+	if local := b.SnapshotLocalOutcomes(); len(local.Records) != 0 {
+		t.Fatalf("local export leaked merged evidence: %+v", local.Records)
+	}
+	full := b.SnapshotOutcomes()
+	if len(full.Records) != 1 || len(full.Records[0].Outcomes) != base.NumAlgorithms {
+		t.Fatalf("full snapshot %+v", full.Records)
+	}
+	for _, o := range full.Records[0].Outcomes {
+		if o.Source != "http://peer-a" {
+			t.Fatalf("merged outcome lost its source tag: %+v", o)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package faultinject
 import (
 	"context"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -126,5 +127,60 @@ func TestArmFromSpec(t *testing.T) {
 		if err := ArmFromSpec(bad); err == nil {
 			t.Errorf("spec %q accepted", bad)
 		}
+	}
+}
+
+// TestEnvSpecGrammar is the table test for the LAMB_FAULTPOINTS grammar:
+// every malformed spec must be rejected with an error naming the problem
+// (init panics on that error, so a typo in a chaos run fails loudly at
+// process start instead of silently disarming the fault), and every
+// valid form must arm.
+func TestEnvSpecGrammar(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantErr string // substring of the rejection; "" = must parse
+	}{
+		{"single error", "serve.query=error", ""},
+		{"named error", "serve.query=error:disk full", ""},
+		{"panic", "engine.query=panic", ""},
+		{"sleep", "outcomes.write=sleep:250ms", ""},
+		{"sleep then error", "outcomes.write=sleep:10ms,error", ""},
+		{"multiple points", "a=error;b=sleep:1ms;c=error:x", ""},
+		{"whitespace and empty parts", " a = error ; ; b = panic ", ""},
+		{"dotted router point", "router.forward=error:injected transport fault", ""},
+
+		{"missing equals", "serve.query", "want name=spec"},
+		{"empty point name", "=error", "empty failpoint name"},
+		{"blank point name", "  =error", "empty failpoint name"},
+		{"unknown verb", "serve.query=explode", `unknown behaviour "explode"`},
+		{"unknown verb in list", "x=sleep:1ms,detonate", `unknown behaviour "detonate"`},
+		{"bad duration word", "x=sleep:forever", `bad sleep duration "forever"`},
+		{"missing duration", "x=sleep", `bad sleep duration ""`},
+		{"bare duration no unit", "x=sleep:100", `bad sleep duration "100"`},
+		{"empty behaviour", "x=", "unknown behaviour"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			Reset()
+			t.Cleanup(Reset)
+			err := ArmFromSpec(tc.spec)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid spec %q rejected: %v", tc.spec, err)
+				}
+				if !Enabled() {
+					t.Fatalf("valid spec %q armed nothing", tc.spec)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("malformed spec %q accepted", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("spec %q: error %q does not name the problem (want substring %q)",
+					tc.spec, err, tc.wantErr)
+			}
+		})
 	}
 }

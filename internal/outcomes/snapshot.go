@@ -86,13 +86,33 @@ type SnapshotOutcome struct {
 	Weight float64 `json:"weight"`
 	// Mean is the weighted mean of the reported seconds.
 	Mean float64 `json:"mean"`
+	// Source tags evidence merged from a peer process (Store.Merge);
+	// empty for evidence fed back directly to this process. Optional, so
+	// schema-version-1 snapshots from before cross-process merging read
+	// back unchanged.
+	Source string `json:"source,omitempty"`
 }
 
-// Snapshot captures the store's current contents, with every weight
-// decayed to the snapshot moment. Records are sorted (expression, then
-// instance) so snapshots are deterministic byte-for-byte for a given
-// store state and clock.
+// Snapshot captures the store's current contents — local and merged
+// evidence alike — with every weight decayed to the snapshot moment.
+// Records are sorted (expression, then instance, then algorithm and
+// source) so snapshots are deterministic byte-for-byte for a given
+// store state and clock. This is the durability artifact `lamb serve
+// -outcomes` writes: a restart restores merged peer evidence too.
 func (st *Store) Snapshot(profileID string) *Snapshot {
+	return st.snapshot(profileID, false)
+}
+
+// SnapshotLocal is Snapshot restricted to this process's own evidence
+// (the empty source): the export `lamb serve` offers on /api/outcomes
+// for cross-process merging. Gossiping only locally observed outcomes
+// keeps merge convergent — a peer's evidence is never re-attributed to
+// this process and echoed back to it amplified.
+func (st *Store) SnapshotLocal(profileID string) *Snapshot {
+	return st.snapshot(profileID, true)
+}
+
+func (st *Store) snapshot(profileID string, localOnly bool) *Snapshot {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := st.now()
@@ -107,14 +127,23 @@ func (st *Store) Snapshot(profileID string) *Snapshot {
 	for exprName, insts := range st.byExpr {
 		for _, rec := range insts {
 			sr := SnapshotRecord{Expr: exprName, Instance: rec.inst.Clone()}
-			for alg, ao := range rec.algs {
+			for key, ao := range rec.algs {
+				if localOnly && key.source != "" {
+					continue
+				}
 				ao.decayTo(now, st.halfLife)
 				sr.Outcomes = append(sr.Outcomes, SnapshotOutcome{
-					Algorithm: alg, Count: ao.count, Weight: ao.weight, Mean: ao.mean,
+					Algorithm: key.alg, Count: ao.count, Weight: ao.weight, Mean: ao.mean, Source: key.source,
 				})
 			}
+			if len(sr.Outcomes) == 0 {
+				continue // a record holding only merged evidence, exported local-only
+			}
 			sort.Slice(sr.Outcomes, func(i, j int) bool {
-				return sr.Outcomes[i].Algorithm < sr.Outcomes[j].Algorithm
+				if sr.Outcomes[i].Algorithm != sr.Outcomes[j].Algorithm {
+					return sr.Outcomes[i].Algorithm < sr.Outcomes[j].Algorithm
+				}
+				return sr.Outcomes[i].Source < sr.Outcomes[j].Source
 			})
 			snap.Records = append(snap.Records, sr)
 		}
@@ -193,6 +222,99 @@ func (st *Store) Restore(s *Snapshot, resolve func(exprName string, inst expr.In
 		}
 	}
 	return restored, skipped
+}
+
+// Merge folds a peer's snapshot into the store under the given source
+// tag. Semantics are replace-by-source: everything this source
+// contributed before is dropped, then the snapshot's *local* outcomes
+// (records the peer observed itself, not evidence it merged from third
+// parties — those are skipped, which keeps gossip loops from amplifying
+// evidence) are installed with their weights scaled by scale, so remote
+// evidence can count for less than firsthand measurements. Replaying
+// the same snapshot is therefore idempotent — state-based merging, not
+// operation replay — and a newer snapshot from the same peer supersedes
+// the older one instead of double-counting the history both contain.
+//
+// The installed outcomes' decay clock starts at the snapshot's creation
+// time: evidence that was already old when it arrived is already partly
+// decayed here. resolve is as in Restore. Returns (merged, skipped).
+func (st *Store) Merge(source string, s *Snapshot, scale float64, resolve func(exprName string, inst expr.Instance, algorithm int) (canonical string, ok bool)) (merged, skipped int) {
+	if source == "" {
+		// An empty source would collide with local evidence; the caller
+		// validates, this is the backstop.
+		return 0, countOutcomes(s)
+	}
+	if scale <= 0 || scale > 1 || math.IsNaN(scale) {
+		scale = 1
+	}
+	// Resolution (which may bind algorithm sets) runs before the lock;
+	// the drop-and-install below is one critical section, so a reader
+	// never sees the source half-replaced.
+	type install struct {
+		name string
+		inst expr.Instance
+		o    SnapshotOutcome
+	}
+	var installs []install
+	for _, rec := range s.Records {
+		for _, o := range rec.Outcomes {
+			if o.Source != "" {
+				skipped++
+				continue
+			}
+			name := rec.Expr
+			if resolve != nil {
+				canonical, ok := resolve(rec.Expr, rec.Instance, o.Algorithm)
+				if !ok {
+					skipped++
+					continue
+				}
+				if canonical != "" {
+					name = canonical
+				}
+			}
+			installs = append(installs, install{name: name, inst: rec.Instance, o: o})
+		}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.dropSource(source)
+	for _, in := range installs {
+		st.install(in.name, in.inst, in.o, source, scale, s.CreatedUnix)
+		merged++
+	}
+	return merged, skipped
+}
+
+// dropSource removes every outcome tagged with source, and any record
+// (and expression map) left empty by the removal. Callers hold the
+// write lock.
+func (st *Store) dropSource(source string) {
+	for exprName, insts := range st.byExpr {
+		for instKey, rec := range insts {
+			for key := range rec.algs {
+				if key.source == source {
+					delete(rec.algs, key)
+				}
+			}
+			if len(rec.algs) == 0 {
+				delete(insts, instKey)
+				st.points--
+			}
+		}
+		if len(insts) == 0 {
+			delete(st.byExpr, exprName)
+		}
+	}
+}
+
+// countOutcomes totals a snapshot's outcome entries.
+func countOutcomes(s *Snapshot) int {
+	n := 0
+	for _, rec := range s.Records {
+		n += len(rec.Outcomes)
+	}
+	return n
 }
 
 // Encode writes the snapshot as JSON.

@@ -44,11 +44,21 @@ type Store struct {
 type record struct {
 	inst   expr.Instance // retained for snapshots
 	coords []float64     // log-shape coordinates, precomputed
-	algs   map[int]*algOutcome
+	algs   map[outcomeKey]*algOutcome
 	// seq is the store's counter value at the last touch — feedback
 	// recorded or evidence served to an adaptive query — the eviction
 	// order once the store is full.
 	seq uint64
+}
+
+// outcomeKey identifies one evidence stream at a record: an algorithm
+// index and the source the evidence arrived from. The empty source is
+// this process's own feedback; non-empty sources tag evidence merged
+// from peers (Merge), kept separate so a later merge from the same peer
+// replaces — never double-counts — what that peer contributed before.
+type outcomeKey struct {
+	alg    int
+	source string
 }
 
 // algOutcome aggregates the measurements reported for one algorithm at
@@ -114,15 +124,17 @@ func logDistance(a, b []float64) float64 {
 }
 
 // Add records one measurement, evicting the least-recently-touched
-// record when the store is at capacity.
+// record when the store is at capacity. Direct feedback is always
+// local evidence (the empty source).
 func (st *Store) Add(exprName string, inst expr.Instance, alg int, seconds float64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	o := st.touch(exprName, inst)
-	ao := o.algs[alg]
+	key := outcomeKey{alg: alg}
+	ao := o.algs[key]
 	if ao == nil {
 		ao = &algOutcome{last: st.now()}
-		o.algs[alg] = ao
+		o.algs[key] = ao
 	}
 	ao.decayTo(st.now(), st.halfLife)
 	ao.count++
@@ -131,14 +143,20 @@ func (st *Store) Add(exprName string, inst expr.Instance, alg int, seconds float
 }
 
 // restore installs one snapshot outcome verbatim (weight, mean, count,
-// and decay timestamp), merging into any existing record.
+// source, and decay timestamp), merging into any existing record.
 func (st *Store) restore(exprName string, inst expr.Instance, o SnapshotOutcome, last float64) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.install(exprName, inst, o, o.Source, 1, last)
+}
+
+// install writes one outcome under (alg, source) with the weight scaled,
+// creating the record as needed. Callers hold the write lock.
+func (st *Store) install(exprName string, inst expr.Instance, o SnapshotOutcome, source string, scale, last float64) {
 	rec := st.touch(exprName, inst)
-	rec.algs[o.Algorithm] = &algOutcome{
+	rec.algs[outcomeKey{alg: o.Algorithm, source: source}] = &algOutcome{
 		count:  o.Count,
-		weight: o.Weight,
+		weight: o.Weight * scale,
 		mean:   o.Mean,
 		last:   last,
 	}
@@ -166,7 +184,7 @@ func (st *Store) touch(exprName string, inst expr.Instance) *record {
 				st.byExpr[exprName] = insts
 			}
 		}
-		o = &record{inst: inst.Clone(), coords: logCoords(inst), algs: make(map[int]*algOutcome)}
+		o = &record{inst: inst.Clone(), coords: logCoords(inst), algs: make(map[outcomeKey]*algOutcome)}
 		insts[key] = o
 		st.points++
 	}
@@ -219,10 +237,13 @@ func (st *Store) Near(exprName string, inst expr.Instance, radius float64) []sel
 		}
 		st.seq++
 		o.seq = st.seq
-		for alg, ao := range o.algs {
+		// One observation per (algorithm, source) stream: the adaptive
+		// blend sums weights per algorithm, so local and merged evidence
+		// combine without the store pre-aggregating them.
+		for key, ao := range o.algs {
 			ao.decayTo(now, st.halfLife)
 			out = append(out, selection.Observation{
-				Algorithm: alg,
+				Algorithm: key.alg,
 				Seconds:   ao.mean,
 				Count:     ao.count,
 				Weight:    ao.weight,

@@ -1,0 +1,358 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"lamb/internal/engine"
+	"lamb/internal/expr"
+)
+
+// The router's HTTP surface mirrors the serve API — a client pointed at
+// a router instead of a single backend sees the same endpoints and the
+// same record schema — with the router's own /healthz and /api/stats.
+
+// Handler assembles the route table.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /api/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, rt.Stats())
+	})
+	mux.HandleFunc("GET /api/expressions", rt.handleExpressions)
+	mux.HandleFunc("POST /api/query", rt.handleQuery)
+	mux.HandleFunc("POST /api/batch", rt.handleBatch)
+	mux.HandleFunc("POST /api/feedback", rt.handleFeedback)
+	return mux
+}
+
+// handleHealthz: the router is live while it answers at all, and ready
+// while it can produce selection records — at least one backend up, or
+// the local fallback engine armed.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	up := 0
+	for _, b := range rt.backends {
+		if b.up.Load() {
+			up++
+		}
+	}
+	ready := up > 0 || rt.cfg.Local != nil
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ok": true, "ready": ready, "backends": len(rt.backends), "up": up,
+	})
+}
+
+// queryBody is the lenient decode of a query request: just enough to
+// compute the shard key and the deadline. The original bytes are
+// relayed verbatim, so fields the router doesn't know still reach the
+// backend (which enforces its own strict schema).
+type queryBody struct {
+	Expr      string `json:"expr"`
+	Instance  []int  `json:"instance"`
+	Strategy  string `json:"strategy"`
+	TimeoutMs int    `json:"timeout_ms"`
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, q, ok := rt.readQuery(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := requestCtx(r, q.TimeoutMs)
+	defer cancel()
+	cands := rt.ring.candidates(shardKey(q.Expr, q.Instance))
+	// Hedging is reserved for timed strategies: an oracle query's
+	// latency is backend-side measurement, the work a straggler
+	// stretches into the tail.
+	res := rt.forward(ctx, cands, "/api/query", body, q.Strategy == "oracle")
+	if res.err == nil {
+		relay(w, res)
+		return
+	}
+	rt.localQuery(w, ctx, q)
+}
+
+// localQuery is the bottom of the ladder: no backend answered, so the
+// local profile-less engine selects by min-flops — the paper's
+// always-available discriminant — and the record says so.
+func (rt *Router) localQuery(w http.ResponseWriter, ctx context.Context, q queryBody) {
+	if rt.cfg.Local == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errNoBackend)
+		return
+	}
+	rec, err := rt.cfg.Local.QueryCtx(ctx, engine.Query{
+		Expr: q.Expr, Instance: expr.Instance(q.Instance), Strategy: "min-flops",
+	})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeError(w, http.StatusGatewayTimeout, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.Strategy != "" && q.Strategy != "min-flops" {
+		rec.Requested = q.Strategy
+	}
+	rec.Degraded = DegradedNoBackend
+	rt.degraded.Add(1)
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// localBatchItem answers one batch entry from the local engine,
+// returning the serve-schema item JSON.
+func (rt *Router) localBatchItem(ctx context.Context, raw json.RawMessage) json.RawMessage {
+	var q queryBody
+	if err := json.Unmarshal(raw, &q); err != nil {
+		return errorItem(err)
+	}
+	if rt.cfg.Local == nil {
+		return errorItem(errNoBackend)
+	}
+	rec, err := rt.cfg.Local.QueryCtx(ctx, engine.Query{
+		Expr: q.Expr, Instance: expr.Instance(q.Instance), Strategy: "min-flops",
+	})
+	if err != nil {
+		return errorItem(err)
+	}
+	if q.Strategy != "" && q.Strategy != "min-flops" {
+		rec.Requested = q.Strategy
+	}
+	rec.Degraded = DegradedNoBackend
+	rt.degraded.Add(1)
+	out, err := json.Marshal(rec)
+	if err != nil {
+		return errorItem(err)
+	}
+	return out
+}
+
+func errorItem(err error) json.RawMessage {
+	out, _ := json.Marshal(map[string]string{"error": err.Error()})
+	return out
+}
+
+// maxRouteBatch mirrors the serve layer's batch cap.
+const maxRouteBatch = 1024
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Queries   []json.RawMessage `json:"queries"`
+		TimeoutMs int               `json:"timeout_ms"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Queries) > maxRouteBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("batch of %d queries exceeds the %d-query limit; split it", len(req.Queries), maxRouteBatch))
+		return
+	}
+	ctx, cancel := requestCtx(r, req.TimeoutMs)
+	defer cancel()
+
+	// Split the batch by shard owner — each sub-batch rides the owning
+	// backend's fused execution path — then reassemble in order.
+	type group struct {
+		cands   []string
+		indices []int
+		raws    []json.RawMessage
+	}
+	groups := make(map[string]*group)
+	var localIdx []int
+	results := make([]json.RawMessage, len(req.Queries))
+	for i, raw := range req.Queries {
+		var q queryBody
+		if err := json.Unmarshal(raw, &q); err != nil {
+			results[i] = errorItem(err)
+			continue
+		}
+		cands := rt.ring.candidates(shardKey(q.Expr, q.Instance))
+		owner := ""
+		for _, c := range cands {
+			if b := rt.byURL[c]; b.up.Load() {
+				owner = c
+				break
+			}
+		}
+		if owner == "" {
+			localIdx = append(localIdx, i)
+			continue
+		}
+		g := groups[owner]
+		if g == nil {
+			g = &group{cands: cands}
+			groups[owner] = g
+		}
+		g.indices = append(g.indices, i)
+		g.raws = append(g.raws, raw)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards results and localIdx across groups
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			payload, err := json.Marshal(map[string]any{
+				"queries": g.raws, "timeout_ms": req.TimeoutMs,
+			})
+			if err != nil {
+				mu.Lock()
+				for _, i := range g.indices {
+					results[i] = errorItem(err)
+				}
+				mu.Unlock()
+				return
+			}
+			res := rt.forward(ctx, g.cands, "/api/batch", payload, false)
+			var sub struct {
+				Results []json.RawMessage `json:"results"`
+			}
+			if res.err == nil && res.status == http.StatusOK &&
+				json.Unmarshal(res.body, &sub) == nil && len(sub.Results) == len(g.indices) {
+				mu.Lock()
+				for k, i := range g.indices {
+					results[i] = sub.Results[k]
+				}
+				mu.Unlock()
+				return
+			}
+			// The whole group failed over to the floor: answer each
+			// query from the local engine.
+			mu.Lock()
+			localIdx = append(localIdx, g.indices...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	for _, i := range localIdx {
+		results[i] = rt.localBatchItem(ctx, req.Queries[i])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+// handleFeedback routes a measured outcome to the shard that owns the
+// instance — where the adaptive evidence for that region lives. With
+// every backend down the feedback is refused (503): accepting it into a
+// local store nothing ever queries would silently discard it.
+func (rt *Router) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	body, q, ok := rt.readQuery(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel := requestCtx(r, 0)
+	defer cancel()
+	res := rt.forward(ctx, rt.ring.candidates(shardKey(q.Expr, q.Instance)), "/api/feedback", body, false)
+	if res.err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("feedback not stored: %w", res.err))
+		return
+	}
+	relay(w, res)
+}
+
+// handleExpressions asks any up backend, falling back to the local
+// engine's registry — the one endpoint where any replica's answer is as
+// good as the owner's.
+func (rt *Router) handleExpressions(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.AttemptTimeout)
+	defer cancel()
+	for _, b := range rt.backends {
+		if !b.up.Load() {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/api/expressions", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := rt.client.Do(req)
+		if err != nil {
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxRelayBytes))
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK {
+			relay(w, attemptResult{status: resp.StatusCode, body: body})
+			return
+		}
+	}
+	if rt.cfg.Local != nil {
+		writeJSON(w, http.StatusOK, rt.cfg.Local.ListExpressions())
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, errNoBackend)
+}
+
+// readQuery reads the capped body and leniently extracts the shard-key
+// fields, replying 400 on garbage.
+func (rt *Router) readQuery(w http.ResponseWriter, r *http.Request) ([]byte, queryBody, bool) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return nil, queryBody{}, false
+	}
+	var q queryBody
+	if err := json.Unmarshal(body, &q); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return nil, queryBody{}, false
+	}
+	return body, q, true
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRelayBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+// requestCtx bounds the whole routed request by the client's
+// timeout_ms; individual attempts are further bounded by
+// AttemptTimeout.
+func requestCtx(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	if timeoutMs > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(timeoutMs)*time.Millisecond)
+	}
+	return r.Context(), func() {}
+}
+
+// relay writes a backend response through unchanged.
+func relay(w http.ResponseWriter, res attemptResult) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

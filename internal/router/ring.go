@@ -1,0 +1,100 @@
+// Package router is the distributed tier's front door: an HTTP proxy
+// that consistent-hashes selection queries by (expression, log-shape
+// region) across a fleet of `lamb serve` backends, with the resilience
+// ladder a production service needs — active health probes, per-backend
+// circuit breakers, capped-backoff retries on a different shard,
+// optional tail-latency hedging for timed strategies, and graceful
+// degradation to a local in-process min-flops engine when every
+// backend is down. It also runs the fleet's anti-entropy gossip,
+// shuttling outcome snapshots between backends so feedback learned on
+// one shard strengthens adaptive selection everywhere (the data-sparsity
+// concern of the follow-up test paper: shards that never share stay
+// permanently starved for the regions they don't own).
+package router
+
+import (
+	"hash/fnv"
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ring is a consistent-hash ring with virtual nodes. Keys are shard
+// keys (shardKey); lookups return every backend, deduplicated, in ring
+// order from the key's position — the retry ladder walks that order, so
+// an instance's traffic lands on the same backend while it is healthy
+// and fails over deterministically when it is not.
+type ring struct {
+	backends []string
+	points   []ringPoint // sorted by hash
+}
+
+// ringPoint is one virtual node: a hash position owned by a backend.
+type ringPoint struct {
+	hash    uint64
+	backend int // index into backends
+}
+
+// newRing places vnodes virtual nodes per backend. More vnodes smooth
+// the load split at the cost of a longer sorted array; with the small
+// fleets a router fronts, 64 per backend keeps the imbalance within a
+// few percent.
+func newRing(backends []string, vnodes int) *ring {
+	r := &ring{backends: backends, points: make([]ringPoint, 0, len(backends)*vnodes)}
+	for i, b := range backends {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(b + "#" + strconv.Itoa(v)), backend: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// candidates returns all backends in ring order starting at key's
+// position: the first entry is the shard owner, the rest the failover
+// order. The returned slice is freshly allocated.
+func (r *ring) candidates(key string) []string {
+	out := make([]string, 0, len(r.backends))
+	if len(r.points) == 0 {
+		return out
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[int]bool, len(r.backends))
+	for i := 0; i < len(r.points) && len(out) < len(r.backends); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.backend] {
+			seen[p.backend] = true
+			out = append(out, r.backends[p.backend])
+		}
+	}
+	return out
+}
+
+// shardKey maps a query to its shard: the expression (case-folded, as
+// the engine resolves it) plus each dimension's octave — floor(log2) —
+// so instances whose shapes differ by less than a factor of two land on
+// the same shard. The octave is deliberately wider than the adaptive
+// strategy's 0.25 log-unit neighbourhood radius: instances close enough
+// to share evidence are close enough to share a shard, which is what
+// makes shard-local feedback memory effective.
+func shardKey(expr string, inst []int) string {
+	var b strings.Builder
+	b.WriteString(strings.ToLower(expr))
+	for _, d := range inst {
+		b.WriteByte('|')
+		if d < 1 {
+			d = 1
+		}
+		b.WriteString(strconv.Itoa(bits.Len(uint(d)) - 1))
+	}
+	return b.String()
+}
+
+// hash64 is FNV-1a, the stdlib's allocation-free string hash.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

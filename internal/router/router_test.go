@@ -1,0 +1,474 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lamb/internal/engine"
+)
+
+func TestRingCandidatesDistinctAndStable(t *testing.T) {
+	backends := []string{"http://a", "http://b", "http://c"}
+	r := newRing(backends, 64)
+	key := shardKey("AATB", []int{80, 514, 768})
+	cands := r.candidates(key)
+	if len(cands) != 3 {
+		t.Fatalf("candidates %v", cands)
+	}
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if seen[c] {
+			t.Fatalf("duplicate candidate in %v", cands)
+		}
+		seen[c] = true
+	}
+	// Deterministic: the same key always walks the same order.
+	for i := 0; i < 5; i++ {
+		again := r.candidates(key)
+		for j := range cands {
+			if again[j] != cands[j] {
+				t.Fatalf("unstable order %v vs %v", again, cands)
+			}
+		}
+	}
+	// Load spreads: across many shard keys every backend owns something.
+	owners := map[string]int{}
+	for d := 1; d < 4096; d *= 2 {
+		for _, e := range []string{"aatb", "abc", "gemm-chain"} {
+			owners[r.candidates(shardKey(e, []int{d, d * 2, d * 4}))[0]]++
+		}
+	}
+	for _, b := range backends {
+		if owners[b] == 0 {
+			t.Fatalf("backend %s owns no shards: %v", b, owners)
+		}
+	}
+}
+
+func TestShardKeyOctaves(t *testing.T) {
+	// Shapes within the same octave share a shard key; doubling a
+	// dimension moves it.
+	if shardKey("AATB", []int{100, 300, 700}) != shardKey("aatb", []int{120, 260, 650}) {
+		t.Fatal("same-octave instances got different keys")
+	}
+	if shardKey("aatb", []int{100, 300, 700}) == shardKey("aatb", []int{100, 300, 1400}) {
+		t.Fatal("doubled dimension kept the same key")
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(4, 2, 0.5, time.Second)
+	b.now = func() time.Time { return now }
+
+	if !b.allow() {
+		t.Fatal("new breaker not closed")
+	}
+	// One failure among successes stays closed (rate below trip).
+	b.success()
+	b.success()
+	b.failure()
+	b.success()
+	if st, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("state %s after 1/4 failures", st)
+	}
+	// Consecutive failures push the windowed rate to 3/4 >= 0.5: open.
+	b.failure()
+	b.failure()
+	if st, opens := b.snapshot(); st != "open" || opens != 1 {
+		t.Fatalf("state %s opens %d", st, opens)
+	}
+	if b.allow() {
+		t.Fatal("open breaker allowed a forward")
+	}
+	// After openFor, one half-open trial; its failure re-opens.
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("half-open trial refused")
+	}
+	b.failure()
+	if st, opens := b.snapshot(); st != "open" || opens != 2 {
+		t.Fatalf("after failed trial: %s opens %d", st, opens)
+	}
+	// Next trial succeeds: closed, window reset.
+	now = now.Add(time.Second)
+	if !b.allow() {
+		t.Fatal("second trial refused")
+	}
+	b.success()
+	if st, _ := b.snapshot(); st != "closed" {
+		t.Fatalf("after passed trial: %s", st)
+	}
+	// Probe authority: forceOpen trips immediately, probeRecovered
+	// closes immediately.
+	b.forceOpen()
+	if st, _ := b.snapshot(); st != "open" {
+		t.Fatal("forceOpen did not open")
+	}
+	b.probeRecovered()
+	if st, _ := b.snapshot(); st != "closed" {
+		t.Fatal("probeRecovered did not close")
+	}
+}
+
+// fakeBackend is a minimal serve stand-in whose behaviour each test
+// scripts.
+type fakeBackend struct {
+	srv     *httptest.Server
+	healthy atomic.Bool
+	queries atomic.Uint64
+	handler atomic.Value // func(w, r) for /api/*
+}
+
+func newFakeBackend(t *testing.T, handle func(w http.ResponseWriter, r *http.Request)) *fakeBackend {
+	t.Helper()
+	f := &fakeBackend{}
+	f.healthy.Store(true)
+	f.handler.Store(handle)
+	f.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			if !f.healthy.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte(`{"ok":true}`))
+			return
+		}
+		f.queries.Add(1)
+		f.handler.Load().(func(http.ResponseWriter, *http.Request))(w, r)
+	}))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func okRecord(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte(`{"expr":"AATB","strategy":"min-flops","selected":{"index":1}}`))
+}
+
+func testRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	if cfg.Local == nil {
+		cfg.Local = engine.New(engine.Config{})
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func postQuery(t *testing.T, h http.Handler, body string) (*http.Response, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/api/query", bytes.NewReader([]byte(body)))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	resp := w.Result()
+	out := new(bytes.Buffer)
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+const aatbQuery = `{"expr":"aatb","instance":[80,514,768],"strategy":"min-flops"}`
+
+func TestRouterRetriesOnFailingBackend(t *testing.T) {
+	bad := newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	good := newFakeBackend(t, okRecord)
+	rt := testRouter(t, Config{
+		Backends:    []string{bad.srv.URL, good.srv.URL},
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	})
+	h := rt.Handler()
+	// Whichever backend owns the shard, every query must come back 200:
+	// either served by the owner or retried onto the survivor.
+	for i := 0; i < 4; i++ {
+		resp, body := postQuery(t, h, aatbQuery)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if good.queries.Load() == 0 {
+		t.Fatal("healthy backend never reached")
+	}
+	s := rt.Stats()
+	if s.Forwards != 4 {
+		t.Fatalf("forwards %d", s.Forwards)
+	}
+	if bad.queries.Load() > 0 && s.Retries == 0 {
+		t.Fatalf("failing owner hit but no retries counted: %+v", s)
+	}
+}
+
+func TestRouterBreakerOpensUnderFailureRate(t *testing.T) {
+	bad := newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	good := newFakeBackend(t, okRecord)
+	rt := testRouter(t, Config{
+		Backends:          []string{bad.srv.URL, good.srv.URL},
+		BackoffBase:       time.Millisecond,
+		BackoffMax:        2 * time.Millisecond,
+		BreakerMinSamples: 3, BreakerWindow: 5, BreakerOpenFor: time.Hour,
+	})
+	h := rt.Handler()
+	// Spread queries over many shard keys so the failing backend owns
+	// some of them; every hit records a breaker failure.
+	spray := func() {
+		for d := 16; d <= 1<<14; d *= 2 {
+			q := fmt.Sprintf(`{"expr":"aatb","instance":[%d,%d,%d]}`, d, d+1, d+2)
+			if resp, body := postQuery(t, h, q); resp.StatusCode != http.StatusOK {
+				t.Fatalf("query d=%d status %d: %s", d, resp.StatusCode, body)
+			}
+		}
+	}
+	spray()
+	var badStats BackendStats
+	for _, b := range rt.Stats().Backends {
+		if b.URL == bad.srv.URL {
+			badStats = b
+		}
+	}
+	if badStats.Breaker != "open" {
+		t.Fatalf("failing backend's breaker %q after %d failures", badStats.Breaker, badStats.Failures)
+	}
+	// With the breaker open the failing backend stops seeing traffic.
+	before := bad.queries.Load()
+	spray()
+	if bad.queries.Load() != before {
+		t.Fatal("open breaker did not fail fast")
+	}
+}
+
+func TestRouterDegradesToLocalWhenAllDown(t *testing.T) {
+	rt := testRouter(t, Config{
+		// Nothing listens here: connection refused, instantly.
+		Backends:    []string{"http://127.0.0.1:9", "http://127.0.0.1:10"},
+		BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond,
+	})
+	h := rt.Handler()
+	resp, body := postQuery(t, h, `{"expr":"aatb","instance":[80,514,768],"strategy":"adaptive"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rec engine.Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Degraded != DegradedNoBackend || rec.Requested != "adaptive" || rec.Strategy != "min-flops" {
+		t.Fatalf("degraded record %+v", rec)
+	}
+	if rec.Selected.Index == 0 {
+		t.Fatalf("no selection in degraded record %+v", rec)
+	}
+	if s := rt.Stats(); s.DegradedQueries != 1 {
+		t.Fatalf("degraded counter %+v", s)
+	}
+}
+
+func TestRouterProbeDrivenUpDownRecovery(t *testing.T) {
+	f := newFakeBackend(t, okRecord)
+	rt := testRouter(t, Config{Backends: []string{f.srv.URL}, DownAfter: 2})
+	find := func() BackendStats { return rt.Stats().Backends[0] }
+
+	rt.probeAll()
+	if b := find(); !b.Up || b.Breaker != "closed" {
+		t.Fatalf("healthy probe: %+v", b)
+	}
+	f.healthy.Store(false)
+	rt.probeAll()
+	if b := find(); !b.Up {
+		t.Fatalf("one failed probe already marked down: %+v", b)
+	}
+	rt.probeAll()
+	if b := find(); b.Up || b.Breaker != "open" {
+		t.Fatalf("after DownAfter failures: %+v", b)
+	}
+	// Requests now skip it entirely; with no local engine configured the
+	// router sheds instead.
+	resp, _ := postQuery(t, rt.Handler(), aatbQuery)
+	if resp.StatusCode != http.StatusOK { // local fallback engine
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if f.queries.Load() != 0 {
+		t.Fatal("down backend still received traffic")
+	}
+	// Recovery: one good probe flips it up and closes the breaker.
+	f.healthy.Store(true)
+	rt.probeAll()
+	if b := find(); !b.Up || b.Breaker != "closed" {
+		t.Fatalf("after recovery probe: %+v", b)
+	}
+	if resp, _ := postQuery(t, rt.Handler(), aatbQuery); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery status %d", resp.StatusCode)
+	}
+	if f.queries.Load() == 0 {
+		t.Fatal("recovered backend got no traffic")
+	}
+}
+
+func TestRouterHedgesSlowTimedQueries(t *testing.T) {
+	release := make(chan struct{})
+	slow := newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		okRecord(w, r)
+	})
+	fast := newFakeBackend(t, okRecord)
+	defer close(release)
+	rt := testRouter(t, Config{
+		Backends:   []string{slow.srv.URL, fast.srv.URL},
+		HedgeAfter: 5 * time.Millisecond,
+	})
+	h := rt.Handler()
+	// Hit shard keys until the slow backend owns one; oracle queries
+	// there must be answered by the hedge within the test deadline.
+	for d := 64; d < 4096; d *= 2 {
+		q := fmt.Sprintf(`{"expr":"aatb","instance":[%d,%d,%d],"strategy":"oracle"}`, d, d+1, d+2)
+		resp, body := postQuery(t, h, q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+	}
+	s := rt.Stats()
+	if slow.queries.Load() == 0 {
+		t.Skip("ring never picked the slow backend as owner for these keys")
+	}
+	if s.Hedged == 0 || s.HedgeWins == 0 {
+		t.Fatalf("hedge counters %+v", s)
+	}
+}
+
+func TestRouterBatchSplitsAndReassembles(t *testing.T) {
+	echo := func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Queries []struct {
+				Instance []int `json:"instance"`
+			} `json:"queries"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		w.Write([]byte(batchEcho(len(req.Queries))))
+	}
+	a := newFakeBackend(t, echo)
+	b := newFakeBackend(t, echo)
+	rt := testRouter(t, Config{Backends: []string{a.srv.URL, b.srv.URL}})
+	var queries []string
+	for d := 16; d <= 1<<14; d *= 2 {
+		queries = append(queries, fmt.Sprintf(`{"expr":"aatb","instance":[%d,%d,%d]}`, d, d, d))
+	}
+	body := `{"queries":[` + join(queries) + `]}`
+	req := httptest.NewRequest(http.MethodPost, "/api/batch", bytes.NewReader([]byte(body)))
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(queries) {
+		t.Fatalf("%d results for %d queries", len(resp.Results), len(queries))
+	}
+	for i, r := range resp.Results {
+		if len(r) == 0 || bytes.Contains(r, []byte("error")) {
+			t.Fatalf("result %d: %s", i, r)
+		}
+	}
+	if a.queries.Load() == 0 || b.queries.Load() == 0 {
+		t.Fatalf("batch not split: a=%d b=%d", a.queries.Load(), b.queries.Load())
+	}
+}
+
+func batchEcho(n int) string {
+	items := make([]string, n)
+	for i := range items {
+		items[i] = `{"expr":"AATB","selected":{"index":1}}`
+	}
+	return `{"results":[` + join(items) + `]}`
+}
+
+func join(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
+
+func TestRouterGossipMergeRound(t *testing.T) {
+	snapshot := `{"schema_version":1,"created_unix":1,"profile":"p","records":[]}`
+	type mergeCall struct{ source, scale string }
+	newGossipBackend := func() (*fakeBackend, *[]mergeCall) {
+		calls := &[]mergeCall{}
+		var f *fakeBackend
+		f = newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
+			switch {
+			case r.Method == http.MethodGet && r.URL.Path == "/api/outcomes":
+				w.Write([]byte(snapshot))
+			case r.Method == http.MethodPost && r.URL.Path == "/api/admin/merge":
+				*calls = append(*calls, mergeCall{r.URL.Query().Get("source"), r.URL.Query().Get("scale")})
+				w.Write([]byte(`{"merged":3,"skipped":0}`))
+			default:
+				w.WriteHeader(http.StatusNotFound)
+			}
+		})
+		return f, calls
+	}
+	a, aCalls := newGossipBackend()
+	b, bCalls := newGossipBackend()
+	rt := testRouter(t, Config{Backends: []string{a.srv.URL, b.srv.URL}, MergeScale: 0.5})
+	rt.MergeRound(context.Background())
+	if len(*aCalls) != 1 || len(*bCalls) != 1 {
+		t.Fatalf("merge calls a=%v b=%v", *aCalls, *bCalls)
+	}
+	if (*bCalls)[0].source != a.srv.URL || (*bCalls)[0].scale != "0.5" {
+		t.Fatalf("b's merge call %+v", (*bCalls)[0])
+	}
+	s := rt.Stats()
+	if s.MergeRounds != 1 || s.MergedOutcomes != 6 || s.MergeErrors != 0 {
+		t.Fatalf("gossip counters %+v", s)
+	}
+	// A down backend drops out of the round entirely.
+	b.healthy.Store(false)
+	rt.probeAll()
+	rt.probeAll()
+	rt.MergeRound(context.Background())
+	if len(*aCalls) != 1 || len(*bCalls) != 1 {
+		t.Fatalf("gossip round included a down backend: a=%v b=%v", *aCalls, *bCalls)
+	}
+}
+
+func TestRouterHealthzReflectsFleet(t *testing.T) {
+	rt := testRouter(t, Config{Backends: []string{"http://127.0.0.1:9"}})
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	// Local fallback keeps the router ready even with the fleet dark.
+	if w.Code != http.StatusOK {
+		t.Fatalf("healthz with local fallback: %d", w.Code)
+	}
+	noLocal, err := New(Config{Backends: []string{"http://127.0.0.1:9"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer noLocal.Close()
+	noLocal.backends[0].up.Store(false)
+	w = httptest.NewRecorder()
+	noLocal.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with nothing to serve from: %d", w.Code)
+	}
+}
