@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/bits"
 	"math/rand"
 	"net/http"
 	"os"
@@ -45,6 +46,7 @@ func cmdLoadtest(args []string) error {
 	duration := fs.Duration("duration", 5*time.Second, "how long to generate load")
 	concurrency := fs.Int("concurrency", 4, "closed-loop workers, one request in flight each (ignored when -rate > 0)")
 	batch := fs.Int("batch", 0, "queries per request: 0/1 = POST /api/query, >1 = POST /api/batch")
+	batchMix := fs.Bool("batch-mix", false, "with -batch > 1: sample each query's dimensions within the base instance's power-of-two octave and request computed results, so batches exercise the heterogeneous fused execution path")
 	exprName := fs.String("expr", "aatb", "expression to query")
 	instStr := fs.String("instance", "24,16,8", "instance dimensions, e.g. 24,16,8")
 	strategy := fs.String("strategy", "", "selection strategy (empty = server default)")
@@ -69,6 +71,9 @@ func cmdLoadtest(args []string) error {
 	if *retry503 < 0 {
 		*retry503 = 0
 	}
+	if *batchMix && *batch <= 1 {
+		return fmt.Errorf("-batch-mix needs -batch > 1")
+	}
 	ex, err := lookupArity(*exprName)
 	if err != nil {
 		return err
@@ -78,18 +83,29 @@ func cmdLoadtest(args []string) error {
 		return err
 	}
 
-	// The query mix: -spread distinct instances stepped on the first
-	// dimension. A batch over them still coalesces duplicates (batch
-	// width > spread), which is exactly the serving pattern the fused
-	// path exists for.
+	// The query mix: -spread distinct instances. By default the first
+	// dimension is stepped; a batch over them still coalesces duplicates
+	// (batch width > spread), which is exactly the serving pattern the
+	// fused path exists for. With -batch-mix every dimension is instead
+	// sampled uniformly within its power-of-two octave (same bits.Len as
+	// the base instance), so computed batches land in one shape-octave
+	// bucket and exercise the heterogeneous (padded) fused plan.
 	if *spread < 1 {
 		*spread = 1
 	}
+	mixRng := rand.New(rand.NewSource(0x10ad7e57)) // fixed seed: reproducible mixes across runs
 	queries := make([]engine.Query, *spread)
 	for i := range queries {
 		qi := make([]int, len(inst))
 		copy(qi, inst)
-		qi[0] += i
+		if *batchMix {
+			for j, d := range qi {
+				lo := 1 << (bits.Len(uint(d)) - 1)
+				qi[j] = lo + mixRng.Intn(lo) // [lo, 2*lo): same octave as d
+			}
+		} else {
+			qi[0] += i
+		}
 		queries[i] = engine.Query{Expr: *exprName, Instance: qi, Strategy: *strategy}
 	}
 
@@ -103,7 +119,7 @@ func cmdLoadtest(args []string) error {
 	// the closed- and open-loop generators.
 	nextRequest := func(n int) (path string, body []byte) {
 		if *batch > 1 {
-			req := batchRequest{Queries: make([]engine.Query, *batch), TimeoutMs: *timeoutMs}
+			req := batchRequest{Queries: make([]engine.Query, *batch), TimeoutMs: *timeoutMs, Compute: *batchMix}
 			for i := range req.Queries {
 				req.Queries[i] = queries[(n+i)%len(queries)]
 			}
@@ -194,6 +210,8 @@ func cmdLoadtest(args []string) error {
 	}
 	fmt.Printf("\nqueries %d  deduped %d  coalesced %d  fused %d  degraded %d\n",
 		d.Queries, d.Deduped, d.Coalesced, d.FusedQueries, d.DegradedQueries)
+	fmt.Printf("fuse rejected: too_big_arena %d  unregistered %d  hetero_prepadding %d\n",
+		d.FuseRejected.TooBigArena, d.FuseRejected.Unregistered, d.FuseRejected.HeteroPrepadding)
 	if n := counts.errors.Load(); n > 0 {
 		return fmt.Errorf("%d request(s) failed", n)
 	}
@@ -409,6 +427,11 @@ func statsDelta(before, after engine.Stats) engine.Stats {
 	d.Coalesced = after.Coalesced - before.Coalesced
 	d.FusedQueries = after.FusedQueries - before.FusedQueries
 	d.DegradedQueries = after.DegradedQueries - before.DegradedQueries
+	d.FuseRejected = engine.FuseRejects{
+		TooBigArena:      after.FuseRejected.TooBigArena - before.FuseRejected.TooBigArena,
+		Unregistered:     after.FuseRejected.Unregistered - before.FuseRejected.Unregistered,
+		HeteroPrepadding: after.FuseRejected.HeteroPrepadding - before.FuseRejected.HeteroPrepadding,
+	}
 	return d
 }
 

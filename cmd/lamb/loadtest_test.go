@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"lamb/internal/engine"
+	"lamb/internal/exec"
 )
 
 // TestLoadtestAgainstServeBatch drives the loadtest generator against an
@@ -118,5 +119,33 @@ func TestLoadtestHonorsRetryAfter(t *testing.T) {
 	}
 	if eng.Stats().Queries == 0 {
 		t.Error("no retried queries reached the engine")
+	}
+}
+
+// TestLoadtestBatchMix drives -batch-mix against a measured-backend serve:
+// every batch carries compute-mode queries with dimensions sampled inside
+// the base instance's octave, so the run must land queries on the fused
+// execution path (FusedQueries counts result executions too). Also covers
+// the flag validation: -batch-mix without -batch > 1 is an error.
+func TestLoadtestBatchMix(t *testing.T) {
+	eng := engine.New(engine.Config{Executor: exec.NewMeasured()})
+	srv := httptest.NewServer(serveMux(eng))
+	defer srv.Close()
+	err := cmdLoadtest([]string{
+		"-target", srv.URL, "-duration", "300ms", "-concurrency", "2",
+		"-batch", "6", "-batch-mix", "-spread", "4", "-expr", "aatb", "-instance", "16,8,8",
+	})
+	if err != nil {
+		t.Fatalf("cmdLoadtest -batch-mix: %v", err)
+	}
+	s := eng.Stats()
+	if s.Queries == 0 {
+		t.Fatal("no queries reached the engine")
+	}
+	if s.FusedQueries == 0 {
+		t.Error("batch-mix traffic never hit the fused execution path")
+	}
+	if err := cmdLoadtest([]string{"-target", srv.URL, "-batch-mix"}); err == nil {
+		t.Error("-batch-mix without -batch > 1 did not fail")
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"lamb/internal/engine"
 	"lamb/internal/faultinject"
+	"lamb/internal/mat"
 	"lamb/internal/outcomes"
 )
 
@@ -38,7 +39,11 @@ import (
 //	                        counters
 //	POST /api/query         one engine.Query -> one selection record;
 //	                        "timeout_ms" bounds the query
-//	POST /api/batch         {"queries": [...]} -> {"results": [...]}
+//	POST /api/batch         {"queries": [...]} -> {"results": [...]};
+//	                        "compute": true additionally executes each
+//	                        query's selected algorithm — same-algorithm
+//	                        queries of similar shape through one fused
+//	                        batch plan — and attaches a result block
 //	POST /api/feedback      one engine.Feedback measured outcome
 //	GET  /api/outcomes      schema-versioned snapshot of this process's
 //	                        own (firsthand) outcome evidence — the
@@ -272,12 +277,30 @@ type queryRequest struct {
 type batchRequest struct {
 	Queries   []engine.Query `json:"queries"`
 	TimeoutMs int            `json:"timeout_ms,omitempty"`
+	// Compute additionally executes each query's selected algorithm on
+	// deterministically filled inputs and attaches a result block per
+	// item. Same-algorithm queries of similar shape are executed through
+	// one fused batch plan (see engine.QueryBatchExecCtx).
+	Compute bool `json:"compute,omitempty"`
 }
 
-// batchItem is one /api/batch result: a record or an error.
+// batchResult summarises one computed result: its shape, whether it was
+// produced through a fused batch plan, and a checksum (the sum of the
+// result's elements) so a client can confirm determinism without
+// shipping the whole matrix.
+type batchResult struct {
+	Rows     int     `json:"rows"`
+	Cols     int     `json:"cols"`
+	Fused    bool    `json:"fused"`
+	Checksum float64 `json:"checksum"`
+}
+
+// batchItem is one /api/batch result: a record (plus, with "compute", a
+// result block) or an error.
 type batchItem struct {
 	*engine.Record
-	Error string `json:"error,omitempty"`
+	Result *batchResult `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
 }
 
 // batchResponse is the /api/batch response body.
@@ -443,6 +466,24 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
 	defer cancel()
+	if req.Compute {
+		results := s.eng.QueryBatchExecCtx(ctx, req.Queries, nil)
+		resp := batchResponse{Results: make([]batchItem, len(results))}
+		for i, res := range results {
+			if res.Err != nil {
+				resp.Results[i] = batchItem{Record: res.Record, Error: res.Err.Error()}
+				continue
+			}
+			resp.Results[i] = batchItem{Record: res.Record, Result: &batchResult{
+				Rows:     res.Output.Rows,
+				Cols:     res.Output.Cols,
+				Fused:    res.Fused,
+				Checksum: denseChecksum(res.Output),
+			}}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	results := s.eng.QueryBatchCtx(ctx, req.Queries)
 	resp := batchResponse{Results: make([]batchItem, len(results))}
 	for i, res := range results {
@@ -453,6 +494,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// denseChecksum sums a matrix's elements (stride-aware).
+func denseChecksum(d *mat.Dense) float64 {
+	var sum float64
+	for c := 0; c < d.Cols; c++ {
+		col := d.Data[c*d.Stride : c*d.Stride+d.Rows]
+		for _, v := range col {
+			sum += v
+		}
+	}
+	return sum
 }
 
 func (s *server) handleFeedback(w http.ResponseWriter, r *http.Request) {

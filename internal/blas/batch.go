@@ -18,6 +18,14 @@ package blas
 // sizes, and sizes outside the fused regime fall back to the sequential
 // drivers instance by instance.
 //
+// On multi-worker hosts (see SetMaxWorkers) the fused paths go parallel:
+// the batch is partitioned into contiguous per-worker instance ranges
+// and each worker sweeps the identical serial fused kernel over its
+// range with its own buffer set (batchpar.go). Instances are
+// independent and each is processed by exactly one goroutine running
+// the serial code on the same data, so the bitwise-identity guarantee
+// holds at any worker count.
+//
 // The slab contract: an operand is passed as its instance-0 header plus
 // an instance stride in float64s; instance i's data starts at
 // Data[i·stride]. Headers must satisfy Stride >= Rows as usual, and the
@@ -41,10 +49,11 @@ func instView(base *mat.Dense, stride, i int) mat.Dense {
 // GemmBatch computes C_i := alpha·op(A_i)·op(B_i) + beta·C_i for
 // i in [0, count), with the instances laid out at the given strides.
 // Small instances (single-block problems: m <= 128, k <= 256, n <= 2048)
-// run fused: panels of as many instances as fit the pooled packing
-// buffers are packed back to back, then the macro-kernel sweeps
-// instance after instance over the hot packed data. Larger instances
-// fall back to the blocked per-instance driver.
+// run fused: panels of as many instances as fit the packing buffers are
+// packed back to back, then the macro-kernel sweeps instance after
+// instance over the hot packed data, in parallel over contiguous
+// instance ranges when workers allow. Larger instances fall back to the
+// blocked per-instance driver.
 func GemmBatch(transA, transB bool, alpha float64, a *mat.Dense, strideA int, b *mat.Dense, strideB int, beta float64, c *mat.Dense, strideC int, count int) {
 	if count <= 0 {
 		return
@@ -69,6 +78,18 @@ func GemmBatch(transA, transB bool, alpha float64, a *mat.Dense, strideA int, b 
 		return
 	}
 	if m <= mc && k <= kc && n <= nc {
+		if np := batchParts(count); np > 1 {
+			j := newBatchJob(runGemmBatchRange)
+			j.transA, j.transB = transA, transB
+			j.alpha, j.beta = alpha, beta
+			j.a, j.b, j.c = *a, *b, *c
+			j.sa, j.sb, j.sc = strideA, strideB, strideC
+			j.m, j.n, j.k = m, n, k
+			j.count = count
+			j.dispatch(np)
+			batchJobPool.Put(j)
+			return
+		}
 		gemmBatchFused(transA, transB, alpha, a, strideA, b, strideB, beta, c, strideC, count, m, n, k)
 		return
 	}
@@ -80,26 +101,36 @@ func GemmBatch(transA, transB bool, alpha float64, a *mat.Dense, strideA int, b 
 	}
 }
 
-// gemmBatchFused is the shared-packing path for single-block instances:
-// every instance is one (jc, pc, ic) block, so its packed panels are
-// contiguous and the whole batch can be packed into the pooled buffers
-// in chunks. Within a chunk all instances are packed first, then the
-// macro-kernel runs instance after instance — the packed data is still
-// resident, and the pool is touched once per batch instead of twice per
-// instance. Tile computations are identical to gemmSerial's, so results
-// match the per-instance driver bitwise.
+// gemmBatchFused is the serial shared-packing path: one pooled buffer
+// pair sweeps the whole batch.
 func gemmBatchFused(transA, transB bool, alpha float64, a *mat.Dense, strideA int, b *mat.Dense, strideB int, beta float64, c *mat.Dense, strideC int, count, m, n, k int) {
+	bufAp := bufAPool.Get().(*[]float64)
+	bufBp := bufBPool.Get().(*[]float64)
+	gemmBatchFusedRange(*bufAp, *bufBp, transA, transB, alpha, a, strideA, b, strideB, beta, c, strideC, 0, count, m, n, k)
+	bufAPool.Put(bufAp)
+	bufBPool.Put(bufBp)
+}
+
+// gemmBatchFusedRange is the shared-packing path for single-block
+// instances over the contiguous range [lo, hi): every instance is one
+// (jc, pc, ic) block, so its packed panels are contiguous and chunks of
+// instances are packed into the provided buffers back to back. Within a
+// chunk all instances are packed first, then the macro-kernel runs
+// instance after instance — the packed data is still resident, and the
+// buffers are acquired once per range instead of twice per instance.
+// Tile computations are identical to gemmSerial's, so results match the
+// per-instance driver bitwise; the chunking and the range partition
+// only group independent instances, they never change per-instance
+// arithmetic.
+func gemmBatchFusedRange(bufA, bufB []float64, transA, transB bool, alpha float64, a *mat.Dense, strideA int, b *mat.Dense, strideB int, beta float64, c *mat.Dense, strideC int, lo, hi, m, n, k int) {
 	packedA := (m + mr - 1) / mr * mr * k
 	packedB := (n + nr - 1) / nr * nr * k
 	chunk := min(mc*kc/packedA, kc*nc/packedB)
 	if chunk < 1 {
 		chunk = 1
 	}
-	bufAp := bufAPool.Get().(*[]float64)
-	bufBp := bufBPool.Get().(*[]float64)
-	bufA, bufB := *bufAp, *bufBp
-	for base := 0; base < count; base += chunk {
-		cnt := min(chunk, count-base)
+	for base := lo; base < hi; base += chunk {
+		cnt := min(chunk, hi-base)
 		for i := 0; i < cnt; i++ {
 			av := instView(a, strideA, base+i)
 			bv := instView(b, strideB, base+i)
@@ -111,15 +142,13 @@ func gemmBatchFused(transA, transB bool, alpha float64, a *mat.Dense, strideA in
 			macroKernel(bufA[i*packedA:], bufB[i*packedB:], m, k, alpha, beta, &cv, 0, 0, 0, n)
 		}
 	}
-	bufAPool.Put(bufAp)
-	bufBPool.Put(bufBp)
 }
 
 // SyrkBatch computes the uplo triangle of C_i := alpha·A_i·A_iᵀ +
 // beta·C_i (trans: alpha·A_iᵀ·A_i) for i in [0, count). Instances with
-// m <= 96 are a single diagonal block: the batch shares one scratch
-// square and one packing-buffer pair across all instances. Larger
-// instances fall back to the blocked driver.
+// m <= 96 are a single diagonal block: each worker's range shares one
+// scratch square and one packing-buffer pair across its instances.
+// Larger instances fall back to the blocked driver.
 func SyrkBatch(uplo mat.Uplo, trans bool, alpha float64, a *mat.Dense, strideA int, beta float64, c *mat.Dense, strideC int, count int) {
 	if count <= 0 {
 		return
@@ -142,25 +171,45 @@ func SyrkBatch(uplo mat.Uplo, trans bool, alpha float64, a *mat.Dense, strideA i
 		}
 		return
 	}
+	if np := batchParts(count); np > 1 {
+		j := newBatchJob(runSyrkBatchRange)
+		j.uplo, j.transA = uplo, trans
+		j.alpha, j.beta = alpha, beta
+		j.a, j.c = *a, *c
+		j.sa, j.sc = strideA, strideC
+		j.m = m
+		j.count = count
+		j.dispatch(np)
+		batchJobPool.Put(j)
+		return
+	}
 	scratch := syrkScratchPool.Get().(*mat.Dense)
 	bufAp := bufAPool.Get().(*[]float64)
 	bufBp := bufBPool.Get().(*[]float64)
-	for i := 0; i < count; i++ {
-		av := instView(a, strideA, i)
-		cv := instView(c, strideC, i)
-		sb := scratch.View(0, m, 0, m)
-		gemmSerialBuf(*bufAp, *bufBp, trans, !trans, alpha, &av, &av, 0, &sb)
-		mergeTriangle(&cv, &sb, 0, uplo, beta)
-	}
+	bufs := batchBufs{bufA: *bufAp, bufB: *bufBp, scratch: scratch}
+	syrkBatchFusedRange(&bufs, uplo, trans, alpha, a, strideA, beta, c, strideC, 0, count, m)
 	bufAPool.Put(bufAp)
 	bufBPool.Put(bufBp)
 	syrkScratchPool.Put(scratch)
 }
 
+// syrkBatchFusedRange sweeps the single-block SYRK path over instances
+// [lo, hi) with the provided buffer set. Per-instance computation is
+// identical to syrkDriver's single-block case.
+func syrkBatchFusedRange(bufs *batchBufs, uplo mat.Uplo, trans bool, alpha float64, a *mat.Dense, strideA int, beta float64, c *mat.Dense, strideC, lo, hi, m int) {
+	for i := lo; i < hi; i++ {
+		av := instView(a, strideA, i)
+		cv := instView(c, strideC, i)
+		sb := bufs.scratch.View(0, m, 0, m)
+		gemmSerialBuf(bufs.bufA, bufs.bufB, trans, !trans, alpha, &av, &av, 0, &sb)
+		mergeTriangle(&cv, &sb, 0, uplo, beta)
+	}
+}
+
 // SymmBatch computes C_i := alpha·A_i·B_i + beta·C_i for symmetric A_i
 // (uplo triangle stored) for i in [0, count). Instances with m <= 96 are
-// a single symmetrised block shared through one pooled scratch square;
-// larger instances fall back to the blocked driver.
+// a single symmetrised block shared through each worker's scratch
+// square; larger instances fall back to the blocked driver.
 func SymmBatch(uplo mat.Uplo, alpha float64, a *mat.Dense, strideA int, b *mat.Dense, strideB int, beta float64, c *mat.Dense, strideC int, count int) {
 	if count <= 0 {
 		return
@@ -185,25 +234,46 @@ func SymmBatch(uplo mat.Uplo, alpha float64, a *mat.Dense, strideA int, b *mat.D
 		}
 		return
 	}
+	if np := batchParts(count); np > 1 {
+		j := newBatchJob(runSymmBatchRange)
+		j.uplo = uplo
+		j.alpha, j.beta = alpha, beta
+		j.a, j.b, j.c = *a, *b, *c
+		j.sa, j.sb, j.sc = strideA, strideB, strideC
+		j.m = m
+		j.count = count
+		j.dispatch(np)
+		batchJobPool.Put(j)
+		return
+	}
 	scratch := syrkScratchPool.Get().(*mat.Dense)
 	bufAp := bufAPool.Get().(*[]float64)
 	bufBp := bufBPool.Get().(*[]float64)
-	for i := 0; i < count; i++ {
-		av := instView(a, strideA, i)
-		bv := instView(b, strideB, i)
-		cv := instView(c, strideC, i)
-		ab := scratch.View(0, m, 0, m)
-		materialiseSymBlock(&ab, &av, uplo, 0, m, 0, m)
-		gemmSerialBuf(*bufAp, *bufBp, false, false, alpha, &ab, &bv, beta, &cv)
-	}
+	bufs := batchBufs{bufA: *bufAp, bufB: *bufBp, scratch: scratch}
+	symmBatchFusedRange(&bufs, uplo, alpha, a, strideA, b, strideB, beta, c, strideC, 0, count, m)
 	bufAPool.Put(bufAp)
 	bufBPool.Put(bufBp)
 	syrkScratchPool.Put(scratch)
 }
 
+// symmBatchFusedRange sweeps the single-block SYMM path over instances
+// [lo, hi) with the provided buffer set. Per-instance computation is
+// identical to Symm's single-block case.
+func symmBatchFusedRange(bufs *batchBufs, uplo mat.Uplo, alpha float64, a *mat.Dense, strideA int, b *mat.Dense, strideB int, beta float64, c *mat.Dense, strideC, lo, hi, m int) {
+	for i := lo; i < hi; i++ {
+		av := instView(a, strideA, i)
+		bv := instView(b, strideB, i)
+		cv := instView(c, strideC, i)
+		ab := bufs.scratch.View(0, m, 0, m)
+		materialiseSymBlock(&ab, &av, uplo, 0, m, 0, m)
+		gemmSerialBuf(bufs.bufA, bufs.bufB, false, false, alpha, &ab, &bv, beta, &cv)
+	}
+}
+
 // TrsmBatch solves op(L_i)·X_i = alpha·B_i in place for i in [0, count).
 // Instances with m <= 64 are a single diagonal block solved with the
-// unblocked substitution kernel directly; larger instances fall back to
+// unblocked substitution kernel directly (in parallel over contiguous
+// instance ranges when workers allow); larger instances fall back to
 // the blocked driver.
 func TrsmBatch(uplo mat.Uplo, transL bool, alpha float64, l *mat.Dense, strideL int, b *mat.Dense, strideB int, count int) {
 	if count <= 0 {
@@ -220,13 +290,36 @@ func TrsmBatch(uplo mat.Uplo, transL bool, alpha float64, l *mat.Dense, strideL 
 		return
 	}
 	const nb = 64 // must match Trsm's block size for identical results
-	for i := 0; i < count; i++ {
+	if m > nb {
+		for i := 0; i < count; i++ {
+			lv := instView(l, strideL, i)
+			bv := instView(b, strideB, i)
+			Trsm(uplo, transL, alpha, &lv, &bv)
+		}
+		return
+	}
+	if np := batchParts(count); np > 1 {
+		j := newBatchJob(runTrsmBatchRange)
+		j.uplo, j.transA = uplo, transL
+		j.alpha = alpha
+		j.a, j.b = *l, *b
+		j.sa, j.sb = strideL, strideB
+		j.m = m
+		j.count = count
+		j.dispatch(np)
+		batchJobPool.Put(j)
+		return
+	}
+	trsmBatchFusedRange(uplo, transL, alpha, l, strideL, b, strideB, 0, count)
+}
+
+// trsmBatchFusedRange sweeps the unblocked solve over instances
+// [lo, hi); per-instance computation is identical to Trsm's single-block
+// case.
+func trsmBatchFusedRange(uplo mat.Uplo, transL bool, alpha float64, l *mat.Dense, strideL int, b *mat.Dense, strideB, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		lv := instView(l, strideL, i)
 		bv := instView(b, strideB, i)
-		if m > nb {
-			Trsm(uplo, transL, alpha, &lv, &bv)
-			continue
-		}
 		if alpha != 1 {
 			scaleMatrix(&bv, alpha)
 		}
@@ -236,9 +329,11 @@ func TrsmBatch(uplo mat.Uplo, transL bool, alpha float64, l *mat.Dense, strideL 
 
 // PotrfBatch factors A_i = L_i·L_iᵀ in place for i in [0, count).
 // Instances with n <= 64 run the unblocked kernel directly (exactly what
-// the blocked driver does at that size); larger instances fall back to
-// it. The first non-positive-definite instance aborts the batch with an
-// error naming it.
+// the blocked driver does at that size), in parallel over contiguous
+// instance ranges when workers allow; larger instances fall back to it.
+// A non-positive-definite instance aborts the batch with an error naming
+// the lowest failing instance — the one sequential execution would hit
+// first.
 func PotrfBatch(a *mat.Dense, strideA, count int) error {
 	if count <= 0 {
 		return nil
@@ -248,15 +343,31 @@ func PotrfBatch(a *mat.Dense, strideA, count int) error {
 		return fmt.Errorf("blas: potrf batch of non-square %dx%d", a.Rows, a.Cols)
 	}
 	const nb = 64 // must match Potrf's block size for identical results
+	if n > nb {
+		for i := 0; i < count; i++ {
+			av := instView(a, strideA, i)
+			if err := Potrf(&av); err != nil {
+				return fmt.Errorf("%w (batch instance %d)", err, i)
+			}
+		}
+		return nil
+	}
+	if np := batchParts(count); np > 1 {
+		j := newBatchJob(runPotrfBatchRange)
+		j.a = *a
+		j.sa = strideA
+		j.count = count
+		j.dispatch(np)
+		err, idx := j.err, j.errIdx
+		batchJobPool.Put(j)
+		if err != nil {
+			return fmt.Errorf("%w (batch instance %d)", err, idx)
+		}
+		return nil
+	}
 	for i := 0; i < count; i++ {
 		av := instView(a, strideA, i)
-		var err error
-		if n <= nb {
-			err = potf2(&av, 0)
-		} else {
-			err = Potrf(&av)
-		}
-		if err != nil {
+		if err := potf2(&av, 0); err != nil {
 			return fmt.Errorf("%w (batch instance %d)", err, i)
 		}
 	}
@@ -266,6 +377,19 @@ func PotrfBatch(a *mat.Dense, strideA, count int) error {
 // AddSymBatch adds the uplo triangles C_i := C_i + A_i for i in
 // [0, count).
 func AddSymBatch(uplo mat.Uplo, c *mat.Dense, strideC int, a *mat.Dense, strideA, count int) {
+	if count <= 0 {
+		return
+	}
+	if np := batchParts(count); np > 1 {
+		j := newBatchJob(runAddSymBatchRange)
+		j.uplo = uplo
+		j.a, j.c = *a, *c
+		j.sa, j.sc = strideA, strideC
+		j.count = count
+		j.dispatch(np)
+		batchJobPool.Put(j)
+		return
+	}
 	for i := 0; i < count; i++ {
 		cv := instView(c, strideC, i)
 		av := instView(a, strideA, i)
@@ -276,6 +400,19 @@ func AddSymBatch(uplo mat.Uplo, c *mat.Dense, strideC int, a *mat.Dense, strideA
 // Tri2FullBatch mirrors the uplo triangle onto the opposite one for each
 // of the count instances.
 func Tri2FullBatch(uplo mat.Uplo, c *mat.Dense, strideC, count int) {
+	if count <= 0 {
+		return
+	}
+	if np := batchParts(count); np > 1 {
+		j := newBatchJob(runTri2FullBatchRange)
+		j.uplo = uplo
+		j.c = *c
+		j.sc = strideC
+		j.count = count
+		j.dispatch(np)
+		batchJobPool.Put(j)
+		return
+	}
 	for i := 0; i < count; i++ {
 		cv := instView(c, strideC, i)
 		Tri2Full(uplo, &cv)

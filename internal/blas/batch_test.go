@@ -264,23 +264,199 @@ func TestAddSymTri2FullBatch(t *testing.T) {
 }
 
 // TestGemmBatchFusedZeroAllocs asserts the fused batch path performs no
-// heap allocations in steady state: the pooled packing buffers are the
-// only backing storage it needs.
+// heap allocations in steady state, both serial and through the
+// parallel tier: the pooled packing buffers (and, in parallel, the
+// persistent workers' own buffer sets plus the pooled job descriptor)
+// are the only backing storage it needs.
 func TestGemmBatchFusedZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool drops items under -race; allocation counts are unreliable")
 	}
-	defer SetMaxWorkers(SetMaxWorkers(1))
 	rng := xrand.New(0xa110c)
 	const m, k, n, count = 24, 16, 8, 16
 	a := slab(m, k, m*k, count, rng)
 	b := slab(k, n, k*n, count, rng)
 	c := slab(m, n, m*n, count, rng)
-	GemmBatch(false, false, 1, a, m*k, b, k*n, 0, c, m*n, count) // warm the pools
-	allocs := testing.AllocsPerRun(10, func() {
-		GemmBatch(false, false, 1, a, m*k, b, k*n, 0, c, m*n, count)
-	})
-	if allocs != 0 {
-		t.Errorf("fused GemmBatch allocates %v times per call, want 0", allocs)
+	for _, w := range []int{1, 2} {
+		defer SetMaxWorkers(SetMaxWorkers(w))
+		GemmBatch(false, false, 1, a, m*k, b, k*n, 0, c, m*n, count) // warm pools + workers
+		allocs := testing.AllocsPerRun(10, func() {
+			GemmBatch(false, false, 1, a, m*k, b, k*n, 0, c, m*n, count)
+		})
+		if allocs != 0 {
+			t.Errorf("workers=%d: fused GemmBatch allocates %v times per call, want 0", w, allocs)
+		}
+	}
+}
+
+// TestBatchDriversParallelMatchSequential pins the parallel tier: every
+// batched driver produces bitwise-identical slabs at worker caps 1, 2,
+// and 4, and two runs at the same cap agree (determinism under dynamic
+// part handout). The reference is the per-instance sequential result.
+func TestBatchDriversParallelMatchSequential(t *testing.T) {
+	defer SetMaxWorkers(SetMaxWorkers(0))
+	const count = 32 // wide enough that every cap actually partitions
+
+	type driver struct {
+		name string
+		run  func(t *testing.T) (got, want *mat.Dense, stride int)
+	}
+	drivers := []driver{
+		{"gemm", func(t *testing.T) (*mat.Dense, *mat.Dense, int) {
+			rng := xrand.New(0x9a11)
+			const m, k, n = 24, 16, 12
+			a := slab(m, k, m*k+3, count, rng)
+			b := slab(k, n, k*n+3, count, rng)
+			c := slab(m, n, m*n+3, count, rng)
+			want := cloneSlab(c)
+			prev := SetMaxWorkers(1)
+			for i := 0; i < count; i++ {
+				av := instView(a, m*k+3, i)
+				bv := instView(b, k*n+3, i)
+				cv := instView(want, m*n+3, i)
+				Gemm(false, false, 1.5, &av, &bv, -0.5, &cv)
+			}
+			SetMaxWorkers(prev)
+			GemmBatch(false, false, 1.5, a, m*k+3, b, k*n+3, -0.5, c, m*n+3, count)
+			return c, want, m*n + 3
+		}},
+		{"syrk", func(t *testing.T) (*mat.Dense, *mat.Dense, int) {
+			rng := xrand.New(0x9a12)
+			const m, k = 33, 17
+			a := slab(m, k, m*k+1, count, rng)
+			c := slab(m, m, m*m+1, count, rng)
+			want := cloneSlab(c)
+			prev := SetMaxWorkers(1)
+			for i := 0; i < count; i++ {
+				av := instView(a, m*k+1, i)
+				cv := instView(want, m*m+1, i)
+				Syrk(mat.Lower, 1.5, &av, 0.5, &cv)
+			}
+			SetMaxWorkers(prev)
+			SyrkBatch(mat.Lower, false, 1.5, a, m*k+1, 0.5, c, m*m+1, count)
+			return c, want, m*m + 1
+		}},
+		{"symm", func(t *testing.T) (*mat.Dense, *mat.Dense, int) {
+			rng := xrand.New(0x9a13)
+			const m, n = 20, 9
+			a := slab(m, m, m*m+5, count, rng)
+			b := slab(m, n, m*n+5, count, rng)
+			c := slab(m, n, m*n+5, count, rng)
+			want := cloneSlab(c)
+			prev := SetMaxWorkers(1)
+			for i := 0; i < count; i++ {
+				av := instView(a, m*m+5, i)
+				bv := instView(b, m*n+5, i)
+				cv := instView(want, m*n+5, i)
+				Symm(mat.Lower, 2, &av, &bv, -1, &cv)
+			}
+			SetMaxWorkers(prev)
+			SymmBatch(mat.Lower, 2, a, m*m+5, b, m*n+5, -1, c, m*n+5, count)
+			return c, want, m*n + 5
+		}},
+		{"trsm", func(t *testing.T) (*mat.Dense, *mat.Dense, int) {
+			rng := xrand.New(0x9a14)
+			const m, n = 16, 7
+			l := slab(m, m, m*m+2, count, rng)
+			for i := 0; i < count; i++ {
+				lv := instView(l, m*m+2, i)
+				for d := 0; d < m; d++ {
+					lv.Set(d, d, 4+lv.At(d, d))
+				}
+			}
+			b := slab(m, n, m*n+2, count, rng)
+			want := cloneSlab(b)
+			prev := SetMaxWorkers(1)
+			for i := 0; i < count; i++ {
+				lv := instView(l, m*m+2, i)
+				bv := instView(want, m*n+2, i)
+				Trsm(mat.Lower, false, 0.5, &lv, &bv)
+			}
+			SetMaxWorkers(prev)
+			TrsmBatch(mat.Lower, false, 0.5, l, m*m+2, b, m*n+2, count)
+			return b, want, m*n + 2
+		}},
+		{"potrf", func(t *testing.T) (*mat.Dense, *mat.Dense, int) {
+			rng := xrand.New(0x9a15)
+			const n = 12
+			a := slab(n, n, n*n+4, count, rng)
+			for i := 0; i < count; i++ {
+				av := instView(a, n*n+4, i)
+				spd := mat.NewSPDRandom(n, rng)
+				sv := av.View(0, n, 0, n)
+				mat.Copy(&sv, spd)
+			}
+			want := cloneSlab(a)
+			prev := SetMaxWorkers(1)
+			for i := 0; i < count; i++ {
+				av := instView(want, n*n+4, i)
+				if err := Potrf(&av); err != nil {
+					t.Fatalf("sequential Potrf failed: %v", err)
+				}
+			}
+			SetMaxWorkers(prev)
+			if err := PotrfBatch(a, n*n+4, count); err != nil {
+				t.Fatalf("PotrfBatch failed: %v", err)
+			}
+			return a, want, n*n + 4
+		}},
+		{"addsym+tri2full", func(t *testing.T) (*mat.Dense, *mat.Dense, int) {
+			rng := xrand.New(0x9a16)
+			const n = 15
+			c := slab(n, n, n*n+6, count, rng)
+			a := slab(n, n, n*n+6, count, rng)
+			want := cloneSlab(c)
+			prev := SetMaxWorkers(1)
+			for i := 0; i < count; i++ {
+				cv := instView(want, n*n+6, i)
+				av := instView(a, n*n+6, i)
+				AddSym(mat.Lower, &cv, &av)
+				Tri2Full(mat.Lower, &cv)
+			}
+			SetMaxWorkers(prev)
+			AddSymBatch(mat.Lower, c, n*n+6, a, n*n+6, count)
+			Tri2FullBatch(mat.Lower, c, n*n+6, count)
+			return c, want, n*n + 6
+		}},
+	}
+	for _, w := range []int{1, 2, 4} {
+		SetMaxWorkers(w)
+		for _, d := range drivers {
+			got1, want, stride := d.run(t)
+			equalInstances(t, want, got1, stride, count, d.name+" workers="+string(rune('0'+w)))
+			// Determinism: a second run at the same cap is bitwise equal
+			// regardless of how the dynamic part handout interleaved.
+			got2, _, _ := d.run(t)
+			equalInstances(t, got1, got2, stride, count, d.name+" rerun workers="+string(rune('0'+w)))
+		}
+	}
+}
+
+// TestPotrfBatchParallelNamesLowestFailure pins the parallel tier's
+// error semantics: with several indefinite instances, the reported
+// instance is the lowest-indexed one — what sequential execution, which
+// stops at the first failure, would name.
+func TestPotrfBatchParallelNamesLowestFailure(t *testing.T) {
+	defer SetMaxWorkers(SetMaxWorkers(4))
+	rng := xrand.New(0xbadbad)
+	const n, count = 8, 32
+	stride := n * n
+	a := slab(n, n, stride, count, rng)
+	for i := 0; i < count; i++ {
+		av := instView(a, stride, i)
+		spd := mat.NewSPDRandom(n, rng)
+		sv := av.View(0, n, 0, n)
+		mat.Copy(&sv, spd)
+	}
+	for _, i := range []int{29, 5, 17} {
+		bad := instView(a, stride, i)
+		bad.Set(0, 0, -1)
+	}
+	err := PotrfBatch(a, stride, count)
+	if err == nil {
+		t.Fatal("PotrfBatch accepted indefinite instances")
+	}
+	if !strings.Contains(err.Error(), "instance 5") {
+		t.Errorf("PotrfBatch error %q does not name the lowest failing instance 5", err)
 	}
 }

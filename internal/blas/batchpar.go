@@ -1,0 +1,253 @@
+package blas
+
+// The parallel tier of the batched drivers: a batch of independent
+// instances is partitioned into contiguous per-worker sub-ranges, and
+// each worker sweeps the unchanged serial fused kernel over its range
+// with its own packing-buffer pair and scratch square. Per-instance
+// math is untouched — every instance is processed by exactly one
+// goroutine running exactly the code the serial fused path runs on
+// exactly the same data — so results stay bitwise identical to
+// sequential execution at any worker count and any schedule.
+//
+// The machinery deliberately avoids the per-call goroutine fan-out of
+// parallelTasks: batched drivers sit on the engine's measured path,
+// whose contract is zero heap allocations per steady-state repetition.
+// Workers here are persistent goroutines parked on a channel, jobs are
+// pooled descriptors holding value copies of the driver arguments, and
+// the per-range entry points are top-level functions (a func field
+// assignment of a top-level function does not allocate). After the
+// first dispatch has spawned the workers (warmup), a parallel batch
+// performs no heap allocations.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"lamb/internal/mat"
+)
+
+// batchBufs is one worker's working set: a packing-buffer pair sized
+// like the pooled pair the serial drivers use, plus the scratch square
+// the SYRK/SYMM fused paths materialise symmetric blocks into.
+type batchBufs struct {
+	bufA    []float64
+	bufB    []float64
+	scratch *mat.Dense
+}
+
+func newBatchBufs() *batchBufs {
+	return &batchBufs{
+		bufA:    make([]float64, mc*kc),
+		bufB:    make([]float64, kc*nc),
+		scratch: mat.New(syrkBlock, syrkBlock),
+	}
+}
+
+// callerBufsPool provides the dispatching goroutine's own batchBufs: the
+// caller participates in its job like a worker, and a pooled struct
+// keeps the dispatch path allocation-free (a stack-built struct would
+// escape through the indirect run call).
+var callerBufsPool = sync.Pool{New: func() any { return newBatchBufs() }}
+
+// batchJob is one batched-driver invocation, partitioned into nparts
+// contiguous instance sub-ranges handed out through the atomic part
+// counter. It carries value copies of every argument any driver needs
+// (each run function reads only its own fields), so neither the
+// dispatch nor the workers capture caller state. Jobs are pooled.
+type batchJob struct {
+	run func(bufs *batchBufs, j *batchJob, lo, hi int)
+
+	transA, transB bool
+	uplo           mat.Uplo
+	alpha, beta    float64
+	a, b, c        mat.Dense
+	sa, sb, sc     int
+	m, n, k        int
+	count          int
+
+	chunk  int
+	nparts int
+	next   atomic.Int64
+
+	// Error funnel for PotrfBatch: the lowest failing instance wins, so
+	// the reported instance matches what sequential execution (which
+	// stops at the first failure) would name.
+	errMu  sync.Mutex
+	errIdx int
+	err    error
+
+	wg sync.WaitGroup
+}
+
+var batchJobPool = sync.Pool{New: func() any { return new(batchJob) }}
+
+// recordErr folds a per-instance failure into the job, keeping the
+// lowest instance index (the one sequential execution would hit first).
+func (j *batchJob) recordErr(i int, err error) {
+	j.errMu.Lock()
+	if j.err == nil || i < j.errIdx {
+		j.errIdx, j.err = i, err
+	}
+	j.errMu.Unlock()
+}
+
+// batchWorkerCap bounds the persistent worker pool. Each worker owns a
+// packing-buffer pair (~4.3 MiB), so the cap bounds pool memory; hosts
+// with more cores simply hand each worker more instances.
+const batchWorkerCap = 16
+
+// batchWork carries jobs to the persistent workers. Sends are
+// non-blocking: if every worker is busy the dispatching goroutine
+// absorbs the unclaimed parts itself, so a saturated pool degrades to
+// more caller work, never to a deadlock.
+var batchWork = make(chan *batchJob, batchWorkerCap)
+
+var batchSpawned atomic.Int32
+var batchSpawnMu sync.Mutex
+
+// ensureBatchWorkers lazily grows the persistent worker pool to at
+// least n goroutines (capped at batchWorkerCap). Growth allocates the
+// workers' buffer sets; it happens during the first parallel dispatch
+// at a given width — warmup — after which dispatches are alloc-free.
+func ensureBatchWorkers(n int) {
+	if n > batchWorkerCap {
+		n = batchWorkerCap
+	}
+	if int(batchSpawned.Load()) >= n {
+		return
+	}
+	batchSpawnMu.Lock()
+	for int(batchSpawned.Load()) < n {
+		go batchWorkerLoop()
+		batchSpawned.Add(1)
+	}
+	batchSpawnMu.Unlock()
+}
+
+func batchWorkerLoop() {
+	bufs := newBatchBufs()
+	for j := range batchWork {
+		serveBatchParts(j, bufs)
+		j.wg.Done()
+	}
+}
+
+// serveBatchParts claims contiguous instance sub-ranges off the job's
+// part counter until none remain. Both workers and the dispatching
+// caller drain the same counter, so uneven part costs still balance.
+func serveBatchParts(j *batchJob, bufs *batchBufs) {
+	for {
+		p := int(j.next.Add(1)) - 1
+		if p >= j.nparts {
+			return
+		}
+		lo := p * j.chunk
+		hi := lo + j.chunk
+		if hi > j.count {
+			hi = j.count
+		}
+		j.run(bufs, j, lo, hi)
+	}
+}
+
+// batchParts decides the partition width for a count-instance batch: up
+// to workers() contiguous parts of at least two instances each, or 1
+// (stay serial) when the worker cap or the batch is too small for
+// parallelism to pay.
+func batchParts(count int) int {
+	nw := workers()
+	if nw <= 1 || count < 4 {
+		return 1
+	}
+	np := count / 2
+	if np > nw {
+		np = nw
+	}
+	if np > batchWorkerCap+1 {
+		np = batchWorkerCap + 1
+	}
+	return np
+}
+
+// dispatch runs the job's parts across the persistent workers with the
+// calling goroutine participating, and waits for completion. On return
+// no goroutine references the job.
+func (j *batchJob) dispatch(nparts int) {
+	j.nparts = nparts
+	j.chunk = (j.count + nparts - 1) / nparts
+	j.next.Store(0)
+	helpers := nparts - 1
+	ensureBatchWorkers(helpers)
+	j.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		select {
+		case batchWork <- j:
+		default:
+			// Pool saturated: the caller serves this helper's share.
+			j.wg.Done()
+		}
+	}
+	bufs := callerBufsPool.Get().(*batchBufs)
+	serveBatchParts(j, bufs)
+	callerBufsPool.Put(bufs)
+	j.wg.Wait()
+}
+
+// newBatchJob fetches a pooled job with the error funnel reset. The
+// matrix-header and scalar fields are always overwritten by the caller
+// for the fields its run function reads.
+func newBatchJob(run func(*batchBufs, *batchJob, int, int)) *batchJob {
+	j := batchJobPool.Get().(*batchJob)
+	j.run = run
+	j.err = nil
+	j.errIdx = 0
+	return j
+}
+
+// The per-range entry points: top-level functions (not closures) that
+// unpack the job's fields and sweep the serial fused kernel over
+// [lo, hi). These are the only code the workers execute.
+
+func runGemmBatchRange(bufs *batchBufs, j *batchJob, lo, hi int) {
+	gemmBatchFusedRange(bufs.bufA, bufs.bufB, j.transA, j.transB, j.alpha,
+		&j.a, j.sa, &j.b, j.sb, j.beta, &j.c, j.sc, lo, hi, j.m, j.n, j.k)
+}
+
+func runSyrkBatchRange(bufs *batchBufs, j *batchJob, lo, hi int) {
+	syrkBatchFusedRange(bufs, j.uplo, j.transA, j.alpha, &j.a, j.sa,
+		j.beta, &j.c, j.sc, lo, hi, j.m)
+}
+
+func runSymmBatchRange(bufs *batchBufs, j *batchJob, lo, hi int) {
+	symmBatchFusedRange(bufs, j.uplo, j.alpha, &j.a, j.sa, &j.b, j.sb,
+		j.beta, &j.c, j.sc, lo, hi, j.m)
+}
+
+func runTrsmBatchRange(_ *batchBufs, j *batchJob, lo, hi int) {
+	trsmBatchFusedRange(j.uplo, j.transA, j.alpha, &j.a, j.sa, &j.b, j.sb, lo, hi)
+}
+
+func runPotrfBatchRange(_ *batchBufs, j *batchJob, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		av := instView(&j.a, j.sa, i)
+		if err := potf2(&av, 0); err != nil {
+			j.recordErr(i, err)
+			return
+		}
+	}
+}
+
+func runAddSymBatchRange(_ *batchBufs, j *batchJob, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		cv := instView(&j.c, j.sc, i)
+		av := instView(&j.a, j.sa, i)
+		AddSym(j.uplo, &cv, &av)
+	}
+}
+
+func runTri2FullBatchRange(_ *batchBufs, j *batchJob, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		cv := instView(&j.c, j.sc, i)
+		Tri2Full(j.uplo, &cv)
+	}
+}

@@ -182,9 +182,14 @@ type Stats struct {
 	// Coalesced counts batch queries answered by an identical query in
 	// the same batch (within-batch dedup, before the singleflight layer).
 	Coalesced uint64 `json:"coalesced"`
-	// FusedQueries counts timed queries whose measurement ran through the
-	// fused batched execution path (batch queries in the fused regime).
+	// FusedQueries counts queries that went through a fused batched
+	// path: timed batch queries measured through fused plans, and batch
+	// queries whose result was computed through a shared fused plan
+	// (QueryBatchExecCtx).
 	FusedQueries uint64 `json:"fused_queries"`
+	// FuseRejected counts queries that could not take a fused path, by
+	// reason.
+	FuseRejected FuseRejects `json:"fuse_rejected"`
 	// Feedback counts outcomes recorded through Engine.Feedback;
 	// FeedbackInstances is the number of distinct (expression, instance)
 	// points those outcomes cover.
@@ -214,6 +219,23 @@ type Stats struct {
 	Enumerations uint64 `json:"enumerations"`
 	// Backend names the executor.
 	Backend string `json:"backend"`
+}
+
+// FuseRejects breaks down, by reason, the queries that asked for a
+// fused path (fused timed measurement or fused result execution) but
+// could not take it:
+//
+//   - Unregistered: the executor has no batched path (e.g. the
+//     simulated backend).
+//   - TooBigArena: some candidate's instance arena exceeds the fused
+//     slab budget, so the set is outside the fused regime.
+//   - HeteroPrepadding: a mixed bucket's stride spread was too wide —
+//     padding every instance to the largest stride would waste most of
+//     the smaller instances' slabs.
+type FuseRejects struct {
+	TooBigArena      uint64 `json:"too_big_arena"`
+	Unregistered     uint64 `json:"unregistered"`
+	HeteroPrepadding uint64 `json:"hetero_prepadding"`
 }
 
 // ProfileInfo is the provenance block Stats carries for a loaded
@@ -291,6 +313,11 @@ type Engine struct {
 	deduped   atomic.Uint64
 	coalesced atomic.Uint64
 	fused     atomic.Uint64
+
+	// Fused-path reject counters, by reason (see FuseRejects).
+	rejTooBig       atomic.Uint64
+	rejUnregistered atomic.Uint64
+	rejHetero       atomic.Uint64
 
 	// The feedback path: measured outcomes recorded per (expression,
 	// instance), searched by log-shape distance for adaptive queries,
@@ -739,19 +766,24 @@ func chooseTimed(ctx context.Context, s selection.Strategy, algs []expr.Algorith
 }
 
 // fuseWidth returns the common fused measurement width for the set: the
-// smallest FuseWidth over its algorithms, so every candidate is measured
-// under the same protocol. 0 when the executor has no batched path or
-// any algorithm is outside the fused regime — the caller then uses the
-// ordinary per-instance measurement.
+// smallest FuseChunk over its algorithms — one measurement repetition
+// executes one chunk, the packed-sweep width whose working set fits the
+// slab budget — so every candidate is measured under the same protocol.
+// 0 when the executor has no batched path or any algorithm is outside
+// the fused regime — the caller then uses the ordinary per-instance
+// measurement, and the reject is counted by reason in
+// Stats.FuseRejected.
 func (e *Engine) fuseWidth(algs []expr.Algorithm) int {
 	be, ok := e.timer.Exec.(exec.BatchExecutor)
 	if !ok {
+		e.rejUnregistered.Add(1)
 		return 0
 	}
 	width := 0
 	for i := range algs {
-		w := be.FuseWidth(&algs[i])
+		w := be.FuseChunk(&algs[i])
 		if w < 2 {
+			e.rejTooBig.Add(1)
 			return 0
 		}
 		if width == 0 || w < width {
@@ -875,6 +907,11 @@ func (e *Engine) Stats() Stats {
 	s.Deduped = e.deduped.Load()
 	s.Coalesced = e.coalesced.Load()
 	s.FusedQueries = e.fused.Load()
+	s.FuseRejected = FuseRejects{
+		TooBigArena:      e.rejTooBig.Load(),
+		Unregistered:     e.rejUnregistered.Load(),
+		HeteroPrepadding: e.rejHetero.Load(),
+	}
 	s.Feedback = e.feedback.Load()
 	s.FeedbackInstances = e.outcomes.Size()
 	s.AdaptiveQueries = e.adaptiveQueries.Load()

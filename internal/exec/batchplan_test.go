@@ -15,41 +15,119 @@ import (
 // batch execution produces bitwise-identical results to running the
 // single-instance plan once per instance from the same fill stream, for
 // every algorithm of every registered expression at a random small
-// instance.
+// instance — at blas worker caps 1, 2, and 4, so the parallel batched
+// drivers are held to the same bitwise standard as the serial ones, and
+// at a batch wider than one fused chunk (72 > 64), so the chunked
+// regime is covered too.
 func TestBatchPlanMatchesSequential(t *testing.T) {
-	rng := xrand.New(0xba7c4)
-	const count = 3
+	defer blas.SetMaxWorkers(blas.SetMaxWorkers(0))
+	for _, workers := range []int{1, 2, 4} {
+		blas.SetMaxWorkers(workers)
+		rng := xrand.New(0xba7c4)
+		count := 3
+		if workers > 1 {
+			count = 72 // wider than one chunk: exercises partitioning + chunk sweep
+		}
+		for _, name := range expr.Names() {
+			ex, err := expr.Lookup(name)
+			if err != nil {
+				t.Fatalf("lookup %q: %v", name, err)
+			}
+			inst := make(expr.Instance, ex.Arity())
+			for i := range inst {
+				inst[i] = 5 + rng.Intn(28)
+			}
+			algs := ex.Algorithms(inst)
+			for i := range algs {
+				alg := &algs[i]
+				bp, err := CompileBatchPlan(alg, count)
+				if err != nil {
+					t.Fatalf("%s/%s %v: CompileBatchPlan: %v", name, alg.Name, inst, err)
+				}
+				sp, err := CompilePlan(alg)
+				if err != nil {
+					t.Fatalf("%s/%s: CompilePlan: %v", name, alg.Name, err)
+				}
+				fused, seq := xrand.New(0xf111), xrand.New(0xf111)
+				bp.FillInputs(fused)
+				bp.Execute()
+				for inst := 0; inst < count; inst++ {
+					sp.FillInputs(seq)
+					sp.Execute()
+					if !mat.Equal(sp.Output(), bp.Output(inst)) {
+						t.Errorf("%s/%s %v workers=%d: fused instance %d differs from sequential execution",
+							name, alg.Name, inst, workers, inst)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMixedBatchPlanMatchesSequential pins the heterogeneous
+// equivalence property: a mixed batch (one expression, one algorithm
+// family, instances of different shapes padded to a common stride)
+// produces bitwise-identical per-instance results to compiling and
+// executing each instance's single plan from the same fill stream, for
+// every algorithm of every registered expression.
+func TestMixedBatchPlanMatchesSequential(t *testing.T) {
+	rng := xrand.New(0x3417ed)
+	const count = 5
 	for _, name := range expr.Names() {
 		ex, err := expr.Lookup(name)
 		if err != nil {
 			t.Fatalf("lookup %q: %v", name, err)
 		}
-		inst := make(expr.Instance, ex.Arity())
-		for i := range inst {
-			inst[i] = 5 + rng.Intn(28)
+		// Bind the same expression at count different small instances.
+		sets := make([][]expr.Algorithm, count)
+		for j := range sets {
+			inst := make(expr.Instance, ex.Arity())
+			for i := range inst {
+				inst[i] = 5 + rng.Intn(28)
+			}
+			sets[j] = ex.Algorithms(inst)
 		}
-		algs := ex.Algorithms(inst)
-		for i := range algs {
-			alg := &algs[i]
-			bp, err := CompileBatchPlan(alg, count)
-			if err != nil {
-				t.Fatalf("%s/%s %v: CompileBatchPlan: %v", name, alg.Name, inst, err)
+		for ai := range sets[0] {
+			mixed := make([]*expr.Algorithm, count)
+			for j := range mixed {
+				mixed[j] = &sets[j][ai]
 			}
-			sp, err := CompilePlan(alg)
+			mp, err := CompileBatchPlanMixed(mixed)
 			if err != nil {
-				t.Fatalf("%s/%s: CompilePlan: %v", name, alg.Name, err)
+				t.Fatalf("%s alg %d: CompileBatchPlanMixed: %v", name, ai, err)
 			}
-			fused, seq := xrand.New(0xf111), xrand.New(0xf111)
-			bp.FillInputs(fused)
-			bp.Execute()
-			for inst := 0; inst < count; inst++ {
+			if mp.Stride()%batchAlign != 0 {
+				t.Errorf("%s alg %d: mixed stride %d not %d-aligned", name, ai, mp.Stride(), batchAlign)
+			}
+			fused, seq := xrand.New(0x5eed5), xrand.New(0x5eed5)
+			mp.FillInputs(fused)
+			mp.Execute()
+			for j := 0; j < count; j++ {
+				sp, err := CompilePlan(mixed[j])
+				if err != nil {
+					t.Fatalf("%s alg %d inst %d: CompilePlan: %v", name, ai, j, err)
+				}
 				sp.FillInputs(seq)
 				sp.Execute()
-				if !mat.Equal(sp.Output(), bp.Output(inst)) {
-					t.Errorf("%s/%s %v: fused instance %d differs from sequential execution",
-						name, alg.Name, inst, inst)
+				if !mat.Equal(sp.Output(), mp.Output(j)) {
+					t.Errorf("%s alg %d: mixed instance %d differs from sequential execution", name, ai, j)
 				}
 			}
+		}
+	}
+}
+
+// TestMixedBatchPlanRejectsForeignStructure checks the mixed compiler's
+// gate: algorithms with different call structures cannot share a plan.
+func TestMixedBatchPlanRejectsForeignStructure(t *testing.T) {
+	a := expr.NewAATB().Algorithms(expr.Instance{8, 8, 8})
+	b := expr.NewLstSq().Algorithms(expr.Instance{16, 8, 4})
+	if _, err := CompileBatchPlanMixed([]*expr.Algorithm{&a[0], &b[0]}); err == nil {
+		t.Error("mixed plan accepted algorithms of different expressions")
+	}
+	if len(a) > 1 {
+		if _, err := CompileBatchPlanMixed([]*expr.Algorithm{&a[0], &a[1]}); err == nil {
+			t.Error("mixed plan accepted two different algorithms of one expression")
 		}
 	}
 }
@@ -122,7 +200,9 @@ func TestBatchPlanArenaLayout(t *testing.T) {
 // TestMeasuredTimeAlgorithmBatchZeroAllocs extends the zero-alloc
 // guarantee to the fused batched path: after the batch plan is compiled
 // (first repetition), a fused batch repetition — refill all instances,
-// flush, execute every batched call — performs zero heap allocations.
+// flush, execute every batched call — performs zero heap allocations,
+// serial and through the parallel tier alike (the persistent workers
+// and pooled job descriptors keep the parallel dispatch alloc-free).
 func TestMeasuredTimeAlgorithmBatchZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool drops items under -race; allocation counts are meaningless")
@@ -130,38 +210,49 @@ func TestMeasuredTimeAlgorithmBatchZeroAllocs(t *testing.T) {
 	defer blas.SetMaxWorkers(blas.SetMaxWorkers(1))
 	e := NewMeasured()
 	e.FlushBytes = 1 << 20
-	for _, tc := range []struct {
-		name  string
-		algs  []expr.Algorithm
-		count int
-	}{
-		{"chain", expr.NewChainABCD().Algorithms(expr.Instance{24, 16, 20, 12, 8}), 8},
-		{"aatb", expr.NewAATB().Algorithms(expr.Instance{24, 16, 8}), 16},
-		{"lstsq", expr.NewLstSq().Algorithms(expr.Instance{32, 16, 8}), 8},
-	} {
-		for i := range tc.algs {
-			alg := &tc.algs[i]
-			e.TimeAlgorithmBatch(alg, tc.count, 0) // compile the plan, warm the pools
-			allocs := testing.AllocsPerRun(10, func() {
-				e.TimeAlgorithmBatch(alg, tc.count, 1)
-			})
-			if allocs != 0 {
-				t.Errorf("%s algorithm %d (%s): %v allocs per fused batch repetition, want 0",
-					tc.name, alg.Index, alg.Name, allocs)
+	for _, workers := range []int{1, 2} {
+		blas.SetMaxWorkers(workers)
+		for _, tc := range []struct {
+			name  string
+			algs  []expr.Algorithm
+			count int
+		}{
+			{"chain", expr.NewChainABCD().Algorithms(expr.Instance{24, 16, 20, 12, 8}), 8},
+			{"aatb", expr.NewAATB().Algorithms(expr.Instance{24, 16, 8}), 16},
+			{"lstsq", expr.NewLstSq().Algorithms(expr.Instance{32, 16, 8}), 8},
+		} {
+			for i := range tc.algs {
+				alg := &tc.algs[i]
+				e.TimeAlgorithmBatch(alg, tc.count, 0) // compile the plan, warm pools + workers
+				allocs := testing.AllocsPerRun(10, func() {
+					e.TimeAlgorithmBatch(alg, tc.count, 1)
+				})
+				if allocs != 0 {
+					t.Errorf("workers=%d %s algorithm %d (%s): %v allocs per fused batch repetition, want 0",
+						workers, tc.name, alg.Index, alg.Name, allocs)
+				}
 			}
 		}
 	}
 }
 
 // TestMeasuredFuseWidth checks the fused-regime gate: small instances
-// fuse wide (capped at 64), huge instances don't fuse at all.
+// fuse one full chunk (64) and span the chunk cap in total (512), huge
+// instances don't fuse at all, and the chunk width always divides the
+// budget consistently with the total width.
 func TestMeasuredFuseWidth(t *testing.T) {
 	e := NewMeasured()
 	small := expr.NewAATB().Algorithms(expr.Instance{8, 8, 8})
-	if w := e.FuseWidth(&small[0]); w != 64 {
-		t.Errorf("FuseWidth(8-dim aatb) = %d, want the 64 cap", w)
+	if w := e.FuseChunk(&small[0]); w != 64 {
+		t.Errorf("FuseChunk(8-dim aatb) = %d, want the 64 chunk cap", w)
+	}
+	if w := e.FuseWidth(&small[0]); w != 64*maxFusedChunks {
+		t.Errorf("FuseWidth(8-dim aatb) = %d, want chunk·maxFusedChunks = %d", w, 64*maxFusedChunks)
 	}
 	big := expr.NewAATB().Algorithms(expr.Instance{1200, 1200, 1200})
+	if w := e.FuseChunk(&big[0]); w != 0 {
+		t.Errorf("FuseChunk(1200-dim aatb) = %d, want 0 (outside the fused regime)", w)
+	}
 	if w := e.FuseWidth(&big[0]); w != 0 {
 		t.Errorf("FuseWidth(1200-dim aatb) = %d, want 0 (outside the fused regime)", w)
 	}

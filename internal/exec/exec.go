@@ -53,9 +53,15 @@ type Executor interface {
 // costs to amortise — so callers type-assert and fall back to the
 // per-instance path.
 type BatchExecutor interface {
-	// FuseWidth reports how many instances of alg one fused repetition
-	// should execute, or 0 if the algorithm is outside the fused regime.
+	// FuseWidth reports the total number of instances of alg one fused
+	// batch plan may carry (possibly spanning several chunks), or 0 if
+	// the algorithm is outside the fused regime.
 	FuseWidth(alg *expr.Algorithm) int
+	// FuseChunk reports the chunk width: how many instances one packed
+	// sweep — and one fused measurement repetition — should execute
+	// together, so the chunk's working set stays within the slab budget.
+	// 0 means out of the fused regime.
+	FuseChunk(alg *expr.Algorithm) int
 	// TimeAlgorithmBatch runs one fused repetition of the algorithm over
 	// count instances after a cache flush and returns per-call times
 	// covering all count instances of each call.

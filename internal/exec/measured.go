@@ -144,19 +144,30 @@ func (e *Measured) TimeAlgorithm(alg *expr.Algorithm, rep uint64) []float64 {
 	return p.ExecuteTimed()
 }
 
-// batchSlabFloats is the fused-batch arena budget in float64s (4 MiB).
+// batchSlabFloats is the fused-batch slab budget in float64s (4 MiB).
 // Fusing exists to amortise fixed per-dispatch costs across instances
-// whose working sets are cache-resident; once a single batch slab spills
-// far past L2 the batched drivers degenerate into the sequential loop
-// and the wider plan just wastes memory, so instances whose arena
-// cannot fit at least two slabs in the budget are not fused at all.
+// whose working sets are cache-resident; the budget applies per *chunk*
+// — the contiguous instance range one packed sweep works through — not
+// per batch, so wide batches execute as successive chunks (distributed
+// across workers by the parallel batched drivers) while each chunk's
+// working set stays cache-sized. Instances whose arena cannot fit at
+// least two slabs in the budget are not fused at all.
 const batchSlabFloats = (4 << 20) / 8
 
-// FuseWidth implements BatchExecutor: how many instances of alg a fused
-// batch plan should execute together. 0 means the algorithm is out of
-// the fused regime (instance arena too large — or not compilable, which
-// the caller will surface through the ordinary per-instance path).
-func (e *Measured) FuseWidth(alg *expr.Algorithm) int {
+// maxFusedChunks bounds how many chunk widths one fused batch plan may
+// span: N instances execute as ⌈N/chunk⌉ chunks, so the total fusable
+// width is FuseChunk × maxFusedChunks (up to 512 instances for the
+// smallest strides). The cap keeps one plan's arena bounded (≤ 8 slab
+// budgets) so the batch-plan LRU stays cheap.
+const maxFusedChunks = 8
+
+// FuseChunk implements BatchExecutor: the chunk width for alg — how
+// many instances one packed sweep (and one fused measurement
+// repetition) should execute together so the chunk's arena fits the
+// slab budget at least twice. 0 means the algorithm is out of the fused
+// regime (instance arena too large — or not compilable, which the
+// caller will surface through the ordinary per-instance path).
+func (e *Measured) FuseChunk(alg *expr.Algorithm) int {
 	lay, err := compileLayout(alg)
 	if err != nil {
 		return 0
@@ -170,6 +181,17 @@ func (e *Measured) FuseWidth(alg *expr.Algorithm) int {
 		return 0
 	}
 	return min(w, 64)
+}
+
+// FuseWidth implements BatchExecutor: the total number of instances of
+// alg one fused batch plan may carry — the chunk width times the chunk
+// cap. 0 means the algorithm is out of the fused regime.
+func (e *Measured) FuseWidth(alg *expr.Algorithm) int {
+	w := e.FuseChunk(alg)
+	if w == 0 {
+		return 0
+	}
+	return w * maxFusedChunks
 }
 
 // TimeAlgorithmBatch implements BatchExecutor: one fused repetition over

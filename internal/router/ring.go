@@ -92,9 +92,21 @@ func shardKey(expr string, inst []int) string {
 	return b.String()
 }
 
-// hash64 is FNV-1a, the stdlib's allocation-free string hash.
+// hash64 is FNV-1a finished with a splitmix64-style mixer. Raw FNV-1a
+// clusters on the short structured strings the ring hashes (shard keys
+// differing in a digit or two, vnode labels sharing a long URL prefix):
+// measured over random backend ports, all eleven octave shard keys of
+// one expression land on the same backend of a pair ~8% of the time.
+// The finalizer restores avalanche and brings that to the ~0.1% an
+// independent uniform hash would give.
 func hash64(s string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(s))
-	return h.Sum64()
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }

@@ -221,23 +221,41 @@ func TestRouterBreakerOpensUnderFailureRate(t *testing.T) {
 	})
 	h := rt.Handler()
 	// Spread queries over many shard keys so the failing backend owns
-	// some of them; every hit records a breaker failure.
+	// some of them; every hit records a breaker failure. Ring positions
+	// depend on the backends' (random) ports, so two octave axes give
+	// 44 keys — enough that the failing backend owning none is
+	// effectively impossible.
 	spray := func() {
 		for d := 16; d <= 1<<14; d *= 2 {
-			q := fmt.Sprintf(`{"expr":"aatb","instance":[%d,%d,%d]}`, d, d+1, d+2)
-			if resp, body := postQuery(t, h, q); resp.StatusCode != http.StatusOK {
-				t.Fatalf("query d=%d status %d: %s", d, resp.StatusCode, body)
+			for e := 16; e <= 1<<10; e *= 4 {
+				q := fmt.Sprintf(`{"expr":"aatb","instance":[%d,%d,%d]}`, d, e+1, d+2)
+				if resp, body := postQuery(t, h, q); resp.StatusCode != http.StatusOK {
+					t.Fatalf("query d=%d e=%d status %d: %s", d, e, resp.StatusCode, body)
+				}
 			}
 		}
 	}
-	spray()
-	var badStats BackendStats
-	for _, b := range rt.Stats().Backends {
-		if b.URL == bad.srv.URL {
-			badStats = b
+	// One spray is not enough on a fast machine: after the failing
+	// backend's first failure it sits in retry backoff (BackoffMax 2ms)
+	// and the remaining spray requests skip it without recording breaker
+	// samples. Spray until the breaker opens, sleeping past the backoff
+	// between rounds so each round lands fresh failures.
+	badOf := func() BackendStats {
+		for _, b := range rt.Stats().Backends {
+			if b.URL == bad.srv.URL {
+				return b
+			}
 		}
+		t.Fatalf("failing backend missing from stats")
+		return BackendStats{}
 	}
-	if badStats.Breaker != "open" {
+	deadline := time.Now().Add(10 * time.Second)
+	spray()
+	for badOf().Breaker != "open" && time.Now().Before(deadline) {
+		time.Sleep(3 * time.Millisecond)
+		spray()
+	}
+	if badStats := badOf(); badStats.Breaker != "open" {
 		t.Fatalf("failing backend's breaker %q after %d failures", badStats.Breaker, badStats.Failures)
 	}
 	// With the breaker open the failing backend stops seeing traffic.
@@ -359,9 +377,13 @@ func TestRouterBatchSplitsAndReassembles(t *testing.T) {
 	a := newFakeBackend(t, echo)
 	b := newFakeBackend(t, echo)
 	rt := testRouter(t, Config{Backends: []string{a.srv.URL, b.srv.URL}})
+	// Two octave axes give 44 shard keys, so both backends own some of
+	// the batch for any ring layout the random ports produce.
 	var queries []string
 	for d := 16; d <= 1<<14; d *= 2 {
-		queries = append(queries, fmt.Sprintf(`{"expr":"aatb","instance":[%d,%d,%d]}`, d, d, d))
+		for e := 16; e <= 1<<10; e *= 4 {
+			queries = append(queries, fmt.Sprintf(`{"expr":"aatb","instance":[%d,%d,%d]}`, d, e, d))
+		}
 	}
 	body := `{"queries":[` + join(queries) + `]}`
 	req := httptest.NewRequest(http.MethodPost, "/api/batch", bytes.NewReader([]byte(body)))
