@@ -171,7 +171,7 @@ func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool)
 	t.Fatalf("timed out waiting for %s", what)
 }
 
-// procStats fetches /api/stats without a testing.T (safe in polling
+// procStats fetches /api/v1/stats without a testing.T (safe in polling
 // conditions that tolerate transient failure).
 func procStats(url string) (serveStats, error) {
 	var s serveStats
@@ -203,7 +203,7 @@ func TestChaosKillRestartRecoversOutcomes(t *testing.T) {
 	const algs, reps = 3, 2
 	for rep := 0; rep < reps; rep++ {
 		for alg := 1; alg <= algs; alg++ {
-			resp, body, err := postJSONRaw(p.url("/api/feedback"), engine.Feedback{
+			resp, body, err := postJSONRaw(p.url("/api/v1/feedback"), engine.Feedback{
 				Expr: "aatb", Instance: []int{80, 514, 768}, Algorithm: alg, Seconds: float64(alg) * 1e-3,
 			})
 			if err != nil || resp.StatusCode != http.StatusOK {
@@ -233,7 +233,7 @@ func TestChaosKillRestartRecoversOutcomes(t *testing.T) {
 
 	// Restart on the same snapshot file: the memory must come back.
 	p2 := startServeProc(t, nil, args...)
-	stats, err := procStats(p2.url("/api/stats"))
+	stats, err := procStats(p2.url("/api/v1/stats"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,13 +243,13 @@ func TestChaosKillRestartRecoversOutcomes(t *testing.T) {
 	}
 	// The restored evidence serves: an adaptive query on the instance
 	// answers informed.
-	resp, body, err := postJSONRaw(p2.url("/api/query"), engine.Query{
+	resp, body, err := postJSONRaw(p2.url("/api/v1/query"), engine.Query{
 		Expr: "aatb", Instance: []int{80, 514, 768}, Strategy: "adaptive",
 	})
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("adaptive query after restore: %v %s", err, body)
 	}
-	if stats, err = procStats(p2.url("/api/stats")); err != nil || stats.AdaptiveInformed != 1 {
+	if stats, err = procStats(p2.url("/api/v1/stats")); err != nil || stats.AdaptiveInformed != 1 {
 		t.Fatalf("restored outcomes did not inform the adaptive query: %+v (err %v)", stats, err)
 	}
 
@@ -273,7 +273,7 @@ func TestChaosKillMidFlightClientsGetErrors(t *testing.T) {
 	}
 	resc := make(chan outcome, 1)
 	go func() {
-		resp, _, err := postJSONRaw(p.url("/api/query"), engine.Query{Expr: "aatb", Instance: []int{10, 20, 30}})
+		resp, _, err := postJSONRaw(p.url("/api/v1/query"), engine.Query{Expr: "aatb", Instance: []int{10, 20, 30}})
 		if err != nil {
 			resc <- outcome{0, err}
 			return
@@ -282,7 +282,7 @@ func TestChaosKillMidFlightClientsGetErrors(t *testing.T) {
 	}()
 	// The query is in flight once the engine has counted it.
 	waitFor(t, 10*time.Second, "query to be in flight", func() bool {
-		s, err := procStats(p.url("/api/stats"))
+		s, err := procStats(p.url("/api/v1/stats"))
 		return err == nil && s.Queries >= 1
 	})
 	killed := time.Now()
@@ -312,11 +312,11 @@ func TestChaosSnapshotWriteFailure(t *testing.T) {
 		"-addr", "127.0.0.1:0", "-outcomes", outPath, "-snapshot-every", "50ms")
 
 	waitFor(t, 10*time.Second, "a snapshot error to be counted", func() bool {
-		s, err := procStats(p.url("/api/stats"))
+		s, err := procStats(p.url("/api/v1/stats"))
 		return err == nil && s.Server.SnapshotErrors >= 1
 	})
 	// Snapshot failures must not take queries down with them.
-	resp, body, err := postJSONRaw(p.url("/api/query"), engine.Query{Expr: "aatb", Instance: []int{10, 20, 30}})
+	resp, body, err := postJSONRaw(p.url("/api/v1/query"), engine.Query{Expr: "aatb", Instance: []int{10, 20, 30}})
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("query during snapshot failures: %v %s", err, body)
 	}
@@ -330,13 +330,13 @@ func TestChaosSnapshotWriteFailure(t *testing.T) {
 // a live process; the generation climbs without dropping the listener.
 func TestChaosSIGHUPReloadsProfiles(t *testing.T) {
 	p := startServeProc(t, nil, "-addr", "127.0.0.1:0", "-profile", ciProfile)
-	s, err := procStats(p.url("/api/stats"))
+	s, err := procStats(p.url("/api/v1/stats"))
 	if err != nil || s.Profile == nil || s.Profile.Generation != 1 {
 		t.Fatalf("boot stats %+v (err %v)", s.Profile, err)
 	}
 	p.signal(syscall.SIGHUP)
 	waitFor(t, 10*time.Second, "reload generation to advance", func() bool {
-		s, err := procStats(p.url("/api/stats"))
+		s, err := procStats(p.url("/api/v1/stats"))
 		return err == nil && s.Profile != nil && s.Profile.Generation == 2
 	})
 	p.signal(syscall.SIGTERM)
@@ -370,7 +370,7 @@ func TestChaosReloadUnderTraffic(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				resp, body, err := postJSONRaw(srv.URL+"/api/query", engine.Query{
+				resp, body, err := postJSONRaw(srv.URL+"/api/v1/query", engine.Query{
 					Expr: "aatb", Instance: []int{15 + w, 25 + i, 35}, Strategy: "min-predicted",
 				})
 				if err != nil {
@@ -388,7 +388,7 @@ func TestChaosReloadUnderTraffic(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 5; i++ {
-			if resp, body, err := postJSONRaw(srv.URL+"/api/admin/reload", struct{}{}); err != nil || resp.StatusCode != http.StatusOK {
+			if resp, body, err := postJSONRaw(srv.URL+"/api/v1/admin/reload", struct{}{}); err != nil || resp.StatusCode != http.StatusOK {
 				t.Errorf("reload %d: %v %s", i, err, body)
 				return
 			}
@@ -416,7 +416,7 @@ func TestChaosReloadUnderTraffic(t *testing.T) {
 	if hits := faultinject.Hits("serve.reload"); hits != 5 {
 		t.Fatalf("serve.reload fired %d times, want 5", hits)
 	}
-	stats, err := procStats(srv.URL + "/api/stats")
+	stats, err := procStats(srv.URL + "/api/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}

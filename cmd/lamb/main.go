@@ -196,7 +196,7 @@ func (c *commonFlags) timer() (*lamb.Timer, error) {
 // engine, so enumeration, binding, and plan compilation are cached in
 // one place. Non-positive capacities fall back to the engine defaults.
 func (c *commonFlags) engine(bindEntries, planEntries int) (*engine.Engine, error) {
-	return c.engineWithProfiles(bindEntries, planEntries, "", 0)
+	return c.engineWithProfiles(bindEntries, planEntries, "", 0, 0)
 }
 
 // engineWithProfiles is engine plus a persisted profile store: when
@@ -204,8 +204,9 @@ func (c *commonFlags) engine(bindEntries, planEntries int) (*engine.Engine, erro
 // the profile-backed strategies (min-predicted, adaptive) without any
 // serve-time measurement, carrying the store's provenance into stats
 // and records. outcomeHalfLife configures the feedback store's weight
-// decay (0 disables it).
-func (c *commonFlags) engineWithProfiles(bindEntries, planEntries int, profilePath string, outcomeHalfLife time.Duration) (*engine.Engine, error) {
+// decay (0 disables it); exploreRate enables Thompson-sampling
+// exploration on adaptive queries (0 — the default — never explores).
+func (c *commonFlags) engineWithProfiles(bindEntries, planEntries int, profilePath string, outcomeHalfLife time.Duration, exploreRate float64) (*engine.Engine, error) {
 	e, err := c.executor()
 	if err != nil {
 		return nil, err
@@ -216,6 +217,7 @@ func (c *commonFlags) engineWithProfiles(bindEntries, planEntries int, profilePa
 		BindEntries:     bindEntries,
 		PlanEntries:     planEntries,
 		OutcomeHalfLife: outcomeHalfLife,
+		ExploreRate:     exploreRate,
 	}
 	if profilePath != "" {
 		set, meta, err := loadProfileStore(profilePath, e.Name())

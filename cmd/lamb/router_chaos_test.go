@@ -108,7 +108,7 @@ func TestRouterChaosKillBackendMidTraffic(t *testing.T) {
 	round := func(phase string) {
 		t.Helper()
 		for d := 16; d <= 1<<13; d *= 2 {
-			resp, body, err := postJSONRaw(front.URL+"/api/query", engine.Query{
+			resp, body, err := postJSONRaw(front.URL+"/api/v1/query", engine.Query{
 				Expr: "aatb", Instance: []int{d, d + 1, d + 2},
 			})
 			if err != nil {
@@ -182,7 +182,7 @@ func TestRouterChaosMergePropagatesAcrossRestart(t *testing.T) {
 	const algs = 3
 	for rep := 0; rep < 2; rep++ {
 		for alg := 1; alg <= algs; alg++ {
-			resp, body, err := postJSONRaw(urlA+"/api/feedback", engine.Feedback{
+			resp, body, err := postJSONRaw(urlA+"/api/v1/feedback", engine.Feedback{
 				Expr: "aatb", Instance: []int{80, 514, 768}, Algorithm: alg, Seconds: float64(alg) * 1e-3,
 			})
 			if err != nil || resp.StatusCode != http.StatusOK {
@@ -196,18 +196,18 @@ func TestRouterChaosMergePropagatesAcrossRestart(t *testing.T) {
 	if s := rt.Stats(); s.MergedOutcomes != algs || s.MergeErrors != 0 {
 		t.Fatalf("gossip counters %+v, want %d merged", s, algs)
 	}
-	stats, err := procStats(urlB + "/api/stats")
+	stats, err := procStats(urlB + "/api/v1/stats")
 	if err != nil || stats.MergeRequests == 0 || stats.MergedOutcomes != algs {
 		t.Fatalf("B merge stats %+v (err %v)", stats, err)
 	}
 	// The merged evidence informs B's adaptive selection.
-	resp, body, err := postJSONRaw(urlB+"/api/query", engine.Query{
+	resp, body, err := postJSONRaw(urlB+"/api/v1/query", engine.Query{
 		Expr: "aatb", Instance: []int{80, 514, 768}, Strategy: "adaptive",
 	})
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("adaptive on B: %v %s", err, body)
 	}
-	if stats, err = procStats(urlB + "/api/stats"); err != nil || stats.AdaptiveInformed != 1 {
+	if stats, err = procStats(urlB + "/api/v1/stats"); err != nil || stats.AdaptiveInformed != 1 {
 		t.Fatalf("merged evidence did not inform B: %+v (err %v)", stats, err)
 	}
 
@@ -236,17 +236,17 @@ func TestRouterChaosMergePropagatesAcrossRestart(t *testing.T) {
 	// Restart on the same port and outcomes file: the fleet-learned
 	// evidence is back and still informs selection.
 	b2 := startServeProc(t, nil, append([]string{"-addr", b.addr}, extraB...)...)
-	stats, err = procStats(b2.url("/api/stats"))
+	stats, err = procStats(b2.url("/api/v1/stats"))
 	if err != nil || stats.FeedbackRestored != algs {
 		t.Fatalf("restored stats %+v (err %v), want %d restored", stats, err, algs)
 	}
-	resp, body, err = postJSONRaw(b2.url("/api/query"), engine.Query{
+	resp, body, err = postJSONRaw(b2.url("/api/v1/query"), engine.Query{
 		Expr: "aatb", Instance: []int{80, 514, 768}, Strategy: "adaptive",
 	})
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("adaptive after restart: %v %s", err, body)
 	}
-	if stats, err = procStats(b2.url("/api/stats")); err != nil || stats.AdaptiveInformed != 1 {
+	if stats, err = procStats(b2.url("/api/v1/stats")); err != nil || stats.AdaptiveInformed != 1 {
 		t.Fatalf("restored merge evidence did not inform B: %+v (err %v)", stats, err)
 	}
 }
@@ -258,7 +258,7 @@ func TestRouterChaosAllBackendsDownDegradesLocally(t *testing.T) {
 	rt := chaosRouter(t, "http://127.0.0.1:9", "http://127.0.0.1:10")
 	front := httptest.NewServer(rt.Handler())
 	t.Cleanup(front.Close)
-	resp, body, err := postJSONRaw(front.URL+"/api/query", engine.Query{
+	resp, body, err := postJSONRaw(front.URL+"/api/v1/query", engine.Query{
 		Expr: "aatb", Instance: []int{80, 514, 768}, Strategy: "adaptive",
 	})
 	if err != nil || resp.StatusCode != http.StatusOK {
@@ -291,7 +291,7 @@ func TestRouterChaosForwardFaultInjection(t *testing.T) {
 	t.Cleanup(front.Close)
 
 	for i := 0; i < 5; i++ {
-		resp, body, err := postJSONRaw(front.URL+"/api/query", engine.Query{
+		resp, body, err := postJSONRaw(front.URL+"/api/v1/query", engine.Query{
 			Expr: "aatb", Instance: []int{40 + i, 50, 60},
 		})
 		if err != nil || resp.StatusCode != http.StatusOK {

@@ -84,25 +84,38 @@ func selectQuery(c *commonFlags, instFlag, strategy, profilePath string, gridPoi
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
-	rec, err := eng.QueryCtx(ctx, engine.Query{Expr: c.exprName, Instance: inst, Strategy: strategy})
-	if err != nil {
-		return err
+	res := eng.Do(ctx, engine.Request{Queries: []engine.Query{{Expr: c.exprName, Instance: inst, Strategy: strategy}}})
+	rec := res[0].Record
+	if res[0].Err != nil {
+		return res[0].Err
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(rec)
 	}
-	fmt.Printf("%s %v (strategy %s, backend %s): algorithm %d of %d\n\n",
+	fmt.Printf("%s %v (strategy %s, backend %s): algorithm %d of %d\n",
 		rec.Expr, rec.Instance, rec.Strategy, rec.Backend, rec.Selected.Index, rec.NumAlgorithms)
-	rows := [][]string{{"#", "algorithm", "FLOPs", "selected"}}
+	anomaly := ""
+	if rec.Anomaly {
+		anomaly = "  ANOMALY: evidence contradicts the min-FLOPs pick"
+	}
+	fmt.Printf("confidence %.3f (probability the top pick is actually fastest vs the runner-up)%s\n\n", rec.Confidence, anomaly)
+	// p_best comes from the ranking, which orders algorithms by posterior
+	// mean; the table keeps enumeration order, so join on the index.
+	pBest := make(map[int]float64, len(rec.Ranking))
+	for _, entry := range rec.Ranking {
+		pBest[entry.Alg] = entry.PBest
+	}
+	rows := [][]string{{"#", "algorithm", "FLOPs", "p(best)", "selected"}}
 	for _, cand := range rec.Candidates {
 		mark := ""
 		if cand.Index == rec.Selected.Index {
 			mark = "<=="
 		}
 		rows = append(rows, []string{
-			fmt.Sprint(cand.Index), cand.Name, fmt.Sprintf("%.0f", cand.Flops), mark,
+			fmt.Sprint(cand.Index), cand.Name, fmt.Sprintf("%.0f", cand.Flops),
+			fmt.Sprintf("%.3f", pBest[cand.Index]), mark,
 		})
 	}
 	return report.Table(os.Stdout, rows)

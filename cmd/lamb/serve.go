@@ -24,42 +24,62 @@ import (
 
 // cmdServe runs the selection engine behind an HTTP JSON endpoint: the
 // ROADMAP's serving path. Every response is produced by the same
-// engine.Query pipeline the CLI uses, so `lamb select -json` and a curl
-// against /api/query emit identical records.
+// engine.Do pipeline the CLI uses, so `lamb select -json` and a curl
+// against /api/v1/query emit identical records.
 //
-// Endpoints:
+// The API is versioned: /api/v1/ is the documented, stable surface.
+// Every endpoint also answers under the original /api/ prefix as a
+// deprecated alias returning the identical body plus a "Deprecation"
+// header and a "Link" header naming the successor path, so existing
+// clients keep working while new ones pin the version.
 //
-//	GET  /healthz           liveness + readiness: 200 when serving,
-//	                        503 with a reason while a reload is swapping
-//	                        stores or the in-flight limit is saturated
-//	GET  /api/expressions   queryable expressions (name, arity, set size)
-//	GET  /api/stats         per-layer cache counters, feedback/adaptive/
-//	                        degradation counters, profile provenance,
-//	                        and the server's own shed/panic/snapshot
-//	                        counters
-//	POST /api/query         one engine.Query -> one selection record;
-//	                        "timeout_ms" bounds the query
-//	POST /api/batch         {"queries": [...]} -> {"results": [...]};
-//	                        "compute": true additionally executes each
-//	                        query's selected algorithm — same-algorithm
-//	                        queries of similar shape through one fused
-//	                        batch plan — and attaches a result block
-//	POST /api/feedback      one engine.Feedback measured outcome
-//	GET  /api/outcomes      schema-versioned snapshot of this process's
-//	                        own (firsthand) outcome evidence — the
-//	                        gossip export a router pulls
-//	POST /api/admin/reload  re-read the -profile store and atomically
-//	                        swap it in (also triggered by SIGHUP)
-//	POST /api/admin/merge   install a peer's outcome snapshot as
-//	                        evidence attributed to ?source=URL, weights
-//	                        discounted by ?scale=F; idempotent
+// Endpoints (v1):
+//
+//	GET  /healthz              liveness + readiness: 200 when serving,
+//	                           503 with a reason while a reload is
+//	                           swapping stores or the in-flight limit is
+//	                           saturated
+//	GET  /api/v1/expressions   queryable expressions (name, arity, set
+//	                           size)
+//	GET  /api/v1/stats         per-layer cache counters, feedback/
+//	                           adaptive/degradation counters, the
+//	                           discriminant counters (anomalous_queries,
+//	                           explore_queries), profile provenance, and
+//	                           the server's own shed/panic/snapshot
+//	                           counters
+//	POST /api/v1/query         one engine.Query -> one selection record
+//	                           with its ranking ([{alg, p_best, mean,
+//	                           stderr}] fastest-first), confidence (the
+//	                           top-2 win probability), and anomaly flag;
+//	                           "timeout_ms" bounds the query. Stable
+//	                           field names: "strategy" is what answered,
+//	                           "requested_strategy"/"degraded" appear
+//	                           when the degradation ladder was walked.
+//	POST /api/v1/batch         {"queries": [...]} -> {"results": [...]};
+//	                           "compute": true additionally executes each
+//	                           query's selected algorithm — same-
+//	                           algorithm queries of similar shape through
+//	                           one fused batch plan — and attaches a
+//	                           result block
+//	POST /api/v1/feedback      one engine.Feedback measured outcome
+//	GET  /api/v1/outcomes      schema-versioned snapshot of this
+//	                           process's own (firsthand) outcome evidence
+//	                           — the gossip export a router pulls
+//	POST /api/v1/admin/reload  re-read the -profile store and atomically
+//	                           swap it in (also triggered by SIGHUP)
+//	POST /api/v1/admin/merge   install a peer's outcome snapshot as
+//	                           evidence attributed to ?source=URL,
+//	                           weights discounted by ?scale=F; idempotent
 //
 // With -profile FILE the persisted kernel-profile store is loaded at
 // startup, so min-predicted and adaptive queries are answered without
 // any serve-time measurement. With -outcomes FILE the feedback memory
 // is restored at boot and snapshotted periodically and at shutdown, so
 // accumulated learning survives restarts (at most one -snapshot-every
-// interval of feedback is lost to a crash).
+// interval of feedback is lost to a crash). With -explore-rate R the
+// engine Thompson-samples roughly that fraction of adaptive answers
+// from the posterior, so under-observed regions collect feedback on
+// alternative algorithms.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	c := registerCommon(fs)
@@ -72,10 +92,11 @@ func cmdServe(args []string) error {
 	halfLife := fs.Duration("half-life", time.Hour, "half-life of recorded outcome weights (0 disables decay)")
 	deadline := fs.Duration("deadline", 0, "default per-request deadline (0 = none; requests may set timeout_ms)")
 	maxInflight := fs.Int("max-inflight", defaultMaxInflight, "max concurrent query/batch requests before shedding with 503 (0 = unlimited)")
+	exploreRate := fs.Float64("explore-rate", 0, "fraction of adaptive queries answered by Thompson-sampling exploration (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	eng, err := c.engineWithProfiles(*bindEntries, *planEntries, *profilePath, *halfLife)
+	eng, err := c.engineWithProfiles(*bindEntries, *planEntries, *profilePath, *halfLife, *exploreRate)
 	if err != nil {
 		return err
 	}
@@ -280,7 +301,7 @@ type batchRequest struct {
 	// Compute additionally executes each query's selected algorithm on
 	// deterministically filled inputs and attaches a result block per
 	// item. Same-algorithm queries of similar shape are executed through
-	// one fused batch plan (see engine.QueryBatchExecCtx).
+	// one fused batch plan (see engine.Request.Compute).
 	Compute bool `json:"compute,omitempty"`
 }
 
@@ -309,14 +330,20 @@ type batchResponse struct {
 }
 
 // handler assembles the route table behind the panic-recovery
-// middleware.
+// middleware: every endpoint under the versioned /api/v1/ prefix (the
+// documented surface) and under the legacy /api/ prefix as a deprecated
+// alias serving the identical body with deprecation headers.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /api/expressions", func(w http.ResponseWriter, r *http.Request) {
+	api := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /api/v1"+path, h)
+		mux.HandleFunc(method+" /api"+path, deprecatedAlias(path, h))
+	}
+	api("GET", "/expressions", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.eng.ListExpressions())
 	})
-	mux.HandleFunc("GET /api/stats", func(w http.ResponseWriter, r *http.Request) {
+	api("GET", "/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, serveStats{
 			Stats: s.eng.Stats(),
 			Server: serverStats{
@@ -329,13 +356,24 @@ func (s *server) handler() http.Handler {
 			},
 		})
 	})
-	mux.HandleFunc("GET /api/outcomes", s.handleOutcomes)
-	mux.HandleFunc("POST /api/query", s.handleQuery)
-	mux.HandleFunc("POST /api/batch", s.handleBatch)
-	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
-	mux.HandleFunc("POST /api/admin/reload", s.handleReload)
-	mux.HandleFunc("POST /api/admin/merge", s.handleMerge)
+	api("GET", "/outcomes", s.handleOutcomes)
+	api("POST", "/query", s.handleQuery)
+	api("POST", "/batch", s.handleBatch)
+	api("POST", "/feedback", s.handleFeedback)
+	api("POST", "/admin/reload", s.handleReload)
+	api("POST", "/admin/merge", s.handleMerge)
 	return s.recoverPanics(mux)
+}
+
+// deprecatedAlias wraps a handler for the legacy unversioned route:
+// the same body, plus RFC 8594-style headers steering clients to the
+// versioned successor.
+func deprecatedAlias(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</api/v1`+path+`>; rel="successor-version"`)
+		h(w, r)
+	}
 }
 
 // recoverPanics turns a handler panic into a 500 and a counter instead
@@ -441,12 +479,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeEngineError(w, err)
 		return
 	}
-	rec, err := s.eng.QueryCtx(ctx, q.Query)
-	if err != nil {
-		writeEngineError(w, err)
+	res := s.eng.Do(ctx, engine.Request{Queries: []engine.Query{q.Query}})
+	if res[0].Err != nil {
+		writeEngineError(w, res[0].Err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rec)
+	writeJSON(w, http.StatusOK, res[0].Record)
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -466,30 +504,22 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestCtx(r, req.TimeoutMs)
 	defer cancel()
-	if req.Compute {
-		results := s.eng.QueryBatchExecCtx(ctx, req.Queries, nil)
-		resp := batchResponse{Results: make([]batchItem, len(results))}
-		for i, res := range results {
-			if res.Err != nil {
-				resp.Results[i] = batchItem{Record: res.Record, Error: res.Err.Error()}
-				continue
-			}
+	results := s.eng.Do(ctx, engine.Request{Queries: req.Queries, Compute: req.Compute})
+	resp := batchResponse{Results: make([]batchItem, len(results))}
+	for i, res := range results {
+		switch {
+		case res.Err != nil && req.Compute:
+			resp.Results[i] = batchItem{Record: res.Record, Error: res.Err.Error()}
+		case res.Err != nil:
+			resp.Results[i] = batchItem{Error: res.Err.Error()}
+		case req.Compute:
 			resp.Results[i] = batchItem{Record: res.Record, Result: &batchResult{
 				Rows:     res.Output.Rows,
 				Cols:     res.Output.Cols,
 				Fused:    res.Fused,
 				Checksum: denseChecksum(res.Output),
 			}}
-		}
-		writeJSON(w, http.StatusOK, resp)
-		return
-	}
-	results := s.eng.QueryBatchCtx(ctx, req.Queries)
-	resp := batchResponse{Results: make([]batchItem, len(results))}
-	for i, res := range results {
-		if res.Err != nil {
-			resp.Results[i] = batchItem{Error: res.Err.Error()}
-		} else {
+		default:
 			resp.Results[i] = batchItem{Record: res.Record}
 		}
 	}

@@ -2,8 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -87,12 +87,14 @@ func TestServeQueryRecord(t *testing.T) {
 	}
 	// The wire format is the engine record verbatim: round-tripping
 	// through the endpoint changes nothing.
-	direct, err := engine.New(engine.Config{}).Query(engine.Query{Expr: "aatb", Instance: []int{80, 514, 768}})
-	if err != nil {
-		t.Fatal(err)
+	direct := engine.New(engine.Config{}).Do(context.Background(), engine.Request{
+		Queries: []engine.Query{{Expr: "aatb", Instance: []int{80, 514, 768}}},
+	})[0]
+	if direct.Err != nil {
+		t.Fatal(direct.Err)
 	}
-	if !reflect.DeepEqual(&rec, direct) {
-		t.Fatalf("served record differs from direct engine record:\n%+v\n%+v", rec, direct)
+	if !reflect.DeepEqual(&rec, direct.Record) {
+		t.Fatalf("served record differs from direct engine record:\n%+v\n%+v", rec, direct.Record)
 	}
 }
 

@@ -68,13 +68,7 @@ type fusedPlan interface {
 	Output(inst int) *mat.Dense
 }
 
-// QueryBatchExec answers the queries and computes their results with no
-// deadline; see QueryBatchExecCtx.
-func (e *Engine) QueryBatchExec(qs []Query, inputs []map[string]*mat.Dense) []BatchExecResult {
-	return e.QueryBatchExecCtx(context.Background(), qs, inputs)
-}
-
-// QueryBatchExecCtx answers the queries (through QueryBatchCtx: within-
+// queryBatchExecCtx answers the queries (through queryBatchCtx: within-
 // batch coalescing, singleflight, fused timed measurement) and then
 // executes each query's selected algorithm, returning records and
 // results in request order. inputs[i], when present, supplies query i's
@@ -87,9 +81,9 @@ func (e *Engine) QueryBatchExec(qs []Query, inputs []map[string]*mat.Dense) []Ba
 // Fused; each fused-executed query counts in Stats.FusedQueries.
 // Buckets outside the fused regime execute per query and count in
 // Stats.FuseRejected by reason.
-func (e *Engine) QueryBatchExecCtx(ctx context.Context, qs []Query, inputs []map[string]*mat.Dense) []BatchExecResult {
+func (e *Engine) queryBatchExecCtx(ctx context.Context, qs []Query, inputs []map[string]*mat.Dense) []BatchExecResult {
 	out := make([]BatchExecResult, len(qs))
-	recs := e.QueryBatchCtx(ctx, qs)
+	recs := e.queryBatchCtx(ctx, qs)
 	algOf := make([]*expr.Algorithm, len(qs))
 	buckets := make(map[string][]int)
 	var order []string

@@ -44,6 +44,7 @@ import (
 	"lamb/internal/outcomes"
 	"lamb/internal/profile"
 	"lamb/internal/selection"
+	"lamb/internal/xrand"
 )
 
 // Cache-capacity defaults. Bound sets are small (≤ tens of algorithms
@@ -106,6 +107,13 @@ type Config struct {
 	// measurements cannot dominate fresh evidence forever. Zero disables
 	// decay.
 	OutcomeHalfLife time.Duration
+	// ExploreRate, when positive, enables Thompson-sampling exploration:
+	// roughly this fraction of adaptive answers (deterministically
+	// rate-capped, values above 1 clamped) are drawn from the posterior
+	// instead of taking its argmin, so under-observed regions eventually
+	// collect feedback on the alternatives. Zero — the default — never
+	// explores; degraded answers never explore regardless.
+	ExploreRate float64
 }
 
 // Query is one selection request.
@@ -152,6 +160,21 @@ type Record struct {
 	Degraded  string `json:"degraded,omitempty"`
 	// Candidates lists the whole set in enumeration order.
 	Candidates []Candidate `json:"candidates"`
+	// Ranking lists every candidate ordered by posterior mean time
+	// (fastest first) with its probability of actually being fastest —
+	// the discriminant test of arXiv:2209.03258 applied to the engine's
+	// current evidence. Always present, whatever strategy answered.
+	Ranking []RankEntry `json:"ranking"`
+	// Confidence is the closed-form probability that the ranking's head
+	// beats the runner-up: near 0.5 the top pick is a coin flip, near 1
+	// it is settled.
+	Confidence float64 `json:"confidence"`
+	// Anomaly flags the paper's mispredict regions: the evidence says the
+	// min-FLOPs pick is probably not the fastest algorithm here.
+	Anomaly bool `json:"anomaly,omitempty"`
+	// Explore marks an adaptive answer drawn by Thompson sampling from
+	// the posterior rather than its argmin (see Config.ExploreRate).
+	Explore bool `json:"explore,omitempty"`
 }
 
 // BatchResult pairs one query's record with its error.
@@ -200,6 +223,13 @@ type Stats struct {
 	// the neighbourhood radius actually informed the choice.
 	AdaptiveQueries  uint64 `json:"adaptive_queries"`
 	AdaptiveInformed uint64 `json:"adaptive_informed"`
+	// AnomalousQueries counts answers whose record carried the anomaly
+	// flag: the evidence contradicted the min-FLOPs discriminant there
+	// (the paper's mispredict regions, as seen in live traffic).
+	AnomalousQueries uint64 `json:"anomalous_queries"`
+	// ExploreQueries counts adaptive answers drawn by Thompson sampling
+	// instead of the posterior argmin (Config.ExploreRate).
+	ExploreQueries uint64 `json:"explore_queries"`
 	// DegradedQueries counts queries answered by a strategy further down
 	// the degradation ladder than the one requested (no profile store,
 	// deadline too tight to measure).
@@ -264,8 +294,9 @@ type profileState struct {
 
 // strategyRun is one query's resolved strategy: what was requested,
 // what actually answers (after walking the degradation ladder), and how
-// to run it. Per-query strategies (adaptive, which must know the
-// expression to look outcomes up) supply perQuery instead of s.
+// to run it. The adaptive strategy supplies adaptive instead of s: it
+// is built per query, because the outcome lookup needs the resolved
+// expression name.
 type strategyRun struct {
 	// name is the strategy that answers; requested differs from name
 	// (and degraded holds the reason) when the ladder was walked.
@@ -273,7 +304,7 @@ type strategyRun struct {
 	requested string
 	degraded  string
 	s         selection.Strategy
-	perQuery  func(exprName string) selection.Strategy
+	adaptive  func(exprName string) selection.Adaptive
 	timed     bool
 	profileID string
 }
@@ -330,6 +361,16 @@ type Engine struct {
 	adaptiveQueries  atomic.Uint64
 	adaptiveInformed atomic.Uint64
 	degraded         atomic.Uint64
+
+	// The discriminant-test path: anomalous counts answers that flagged
+	// the min-FLOPs pick as probably wrong; exploreSeen paces the
+	// deterministic Thompson-sampling rate cap (every exploreEvery-th
+	// eligible adaptive answer explores; 0 disables); explored counts the
+	// answers that did.
+	anomalous    atomic.Uint64
+	exploreSeen  atomic.Uint64
+	explored     atomic.Uint64
+	exploreEvery int
 
 	// prof is the RCU-published profile state (nil without profiles):
 	// queries load it once at entry, ReloadProfiles swaps it atomically,
@@ -396,6 +437,7 @@ func New(cfg Config) *Engine {
 	if e.adaptiveRadius <= 0 {
 		e.adaptiveRadius = selection.DefaultAdaptiveRadius
 	}
+	e.exploreEvery = exploreInterval(cfg.ExploreRate)
 	if cfg.Profiles != nil {
 		e.ReloadProfiles(cfg.Profiles, cfg.ProfileMeta)
 	}
@@ -537,28 +579,19 @@ func (e *Engine) algorithmsFor(x expr.Expression, inst expr.Instance) ([]expr.Al
 	return algs, nil
 }
 
-// Query answers one selection request with no deadline; see QueryCtx.
-func (e *Engine) Query(q Query) (*Record, error) {
-	return e.QueryCtx(context.Background(), q)
-}
-
-// QueryCtx answers one selection request under the caller's context.
+// queryCtx answers one selection request under the caller's context.
 // Concurrent identical queries (same expression, instance, and
 // strategy) are deduplicated: one computes, the rest wait and share its
 // record — but each waiter honours its own context, so one slow leader
 // cannot hold a cancelled request hostage. A context that expires
 // mid-measurement degrades timed strategies to a FLOPs-only answer (see
 // answer); a context that is already done fails immediately.
-func (e *Engine) QueryCtx(ctx context.Context, q Query) (*Record, error) {
-	return e.queryCtx(ctx, q, false)
-}
-
-// queryCtx is QueryCtx with the fused-execution flag batch queries set:
-// fused queries may answer timed strategies through the fused batched
-// measurement path (see answer). Fused and per-instance flights are
-// kept apart in the singleflight table — they follow different
-// measurement protocols, and a record must reflect the protocol that
-// produced it.
+//
+// fusedOK is the flag batch queries set: fused queries may answer timed
+// strategies through the fused batched measurement path (see answer).
+// Fused and per-instance flights are kept apart in the singleflight
+// table — they follow different measurement protocols, and a record
+// must reflect the protocol that produced it.
 func (e *Engine) queryCtx(ctx context.Context, q Query, fusedOK bool) (*Record, error) {
 	e.queries.Add(1)
 	if err := ctx.Err(); err != nil {
@@ -625,7 +658,7 @@ func (e *Engine) resolveStrategy(strat string, st *profileState) (strategyRun, e
 		// Adaptive is built per query: the outcome lookup needs the
 		// resolved expression name, and counting informed choices at the
 		// point of observation keeps the stats honest under concurrency.
-		run.perQuery = func(exprName string) selection.Strategy {
+		run.adaptive = func(exprName string) selection.Adaptive {
 			e.adaptiveQueries.Add(1)
 			return selection.Adaptive{
 				Prior:  st.predicted,
@@ -662,7 +695,7 @@ func (e *Engine) degradeRun(run strategyRun, reason string) strategyRun {
 	run.name = "min-flops"
 	run.degraded = reason
 	run.s = selection.MinFlops{}
-	run.perQuery = nil
+	run.adaptive = nil
 	run.timed = false
 	run.profileID = ""
 	return run
@@ -699,6 +732,8 @@ func (e *Engine) answer(ctx context.Context, q Query, strat string, fusedOK bool
 		return nil, err
 	}
 	var pick int
+	var post []selection.AlgPosterior
+	explored := false
 	if run.timed {
 		width := 0
 		if fusedOK {
@@ -723,20 +758,38 @@ func (e *Engine) answer(ctx context.Context, q Query, strat string, fusedOK bool
 			run = e.degradeRun(run, DegradedDeadline)
 			pick = run.s.Choose(algs)
 		}
-	} else {
-		s := run.s
-		if run.perQuery != nil {
-			s = run.perQuery(x.Name())
+	} else if run.adaptive != nil {
+		post = run.adaptive(x.Name()).Posterior(q.Instance, algs)
+		pick = selection.BestIndex(post)
+		if n, ok := e.exploreTick(run); ok {
+			// Thompson sampling: one posterior draw per algorithm, take
+			// the argmin. Seeded per exploration event so the sequence is
+			// reproducible without any shared mutable RNG state.
+			pick = selection.SampleBest(post, xrand.New(xrand.Hash64(exploreSeed, n)))
+			e.explored.Add(1)
+			explored = true
 		}
-		if is, ok := s.(selection.InstanceStrategy); ok {
+	} else {
+		if is, ok := run.s.(selection.InstanceStrategy); ok {
 			pick = is.ChooseFor(q.Instance, algs)
 		} else {
-			pick = s.Choose(algs)
+			pick = run.s.Choose(algs)
 		}
+	}
+	// Every answer carries the discriminant test, whatever strategy made
+	// the pick: the posterior over the engine's full current evidence
+	// (profile prior when loaded, FLOPs otherwise, plus any feedback),
+	// rendered as a ranking with win probabilities.
+	if post == nil {
+		post = e.riskPosterior(x.Name(), q.Instance, algs)
 	}
 	cands := make([]Candidate, len(algs))
 	for i := range algs {
 		cands[i] = Candidate{Index: algs[i].Index, Name: algs[i].Name, Flops: algs[i].Flops()}
+	}
+	ranking, confidence, anomaly := rank(x.Name(), q.Instance, algs, post)
+	if anomaly {
+		e.anomalous.Add(1)
 	}
 	rec = &Record{
 		Expr:          strings.ToLower(q.Expr),
@@ -747,6 +800,10 @@ func (e *Engine) answer(ctx context.Context, q Query, strat string, fusedOK bool
 		NumAlgorithms: len(algs),
 		Profile:       run.profileID,
 		Candidates:    cands,
+		Ranking:       ranking,
+		Confidence:    confidence,
+		Anomaly:       anomaly,
+		Explore:       explored,
 	}
 	if run.degraded != "" {
 		e.degraded.Add(1)
@@ -827,13 +884,7 @@ func batchWorkers(n int) int {
 	return w
 }
 
-// QueryBatch answers the queries concurrently with no deadline; see
-// QueryBatchCtx.
-func (e *Engine) QueryBatch(qs []Query) []BatchResult {
-	return e.QueryBatchCtx(context.Background(), qs)
-}
-
-// QueryBatchCtx answers the queries concurrently under one shared
+// queryBatchCtx answers the queries concurrently under one shared
 // context and returns the results in request order. Identical
 // (expression, instance, strategy) queries within the batch are
 // coalesced before dispatch: one representative computes, duplicates
@@ -844,7 +895,7 @@ func (e *Engine) QueryBatch(qs []Query) []BatchResult {
 // measure through fused batch plans (Stats.FusedQueries). A context
 // that expires mid-batch fails the not-yet-answered queries with its
 // error.
-func (e *Engine) QueryBatchCtx(ctx context.Context, qs []Query) []BatchResult {
+func (e *Engine) queryBatchCtx(ctx context.Context, qs []Query) []BatchResult {
 	out := make([]BatchResult, len(qs))
 	if len(qs) == 0 {
 		return out
@@ -916,6 +967,8 @@ func (e *Engine) Stats() Stats {
 	s.FeedbackInstances = e.outcomes.Size()
 	s.AdaptiveQueries = e.adaptiveQueries.Load()
 	s.AdaptiveInformed = e.adaptiveInformed.Load()
+	s.AnomalousQueries = e.anomalous.Load()
+	s.ExploreQueries = e.explored.Load()
 	s.DegradedQueries = e.degraded.Load()
 	s.FeedbackRestored = e.restored.Load()
 	s.MergeRequests = e.mergeReqs.Load()

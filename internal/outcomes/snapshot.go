@@ -8,18 +8,22 @@
 // The file format is one JSON object:
 //
 //	{
-//	  "schema_version": 1,
+//	  "schema_version": 2,
 //	  "created_at": "2026-08-07T12:00:00Z",
 //	  "created_unix": 1786190400.0,
 //	  "half_life_seconds": 3600,
 //	  "profile": "PROFILE.json",
 //	  "records": [
 //	    {"expr": "AATB", "instance": [80,514,768], "outcomes": [
-//	      {"algorithm": 2, "count": 3, "weight": 2.71, "mean": 0.0004}
+//	      {"algorithm": 2, "count": 3, "weight": 2.71, "mean": 0.0004, "m2": 1.2e-9}
 //	    ]},
 //	    ...
 //	  ]
 //	}
+//
+// Schema version 2 added the per-stream "m2" Welford sum backing the
+// posterior variance; version-1 files (no m2) still restore, their
+// spread seeded from the prior.
 //
 // Weights are decayed to the snapshot moment before encoding, and on
 // restore the decay clock resumes from created_unix — so downtime
@@ -45,9 +49,10 @@ import (
 )
 
 // SchemaVersion is the version of the snapshot file format this package
-// writes and accepts. Bump it on incompatible schema changes; Decode
-// rejects mismatching files rather than misreading them.
-const SchemaVersion = 1
+// writes. Decode accepts every version from 1 up to this one — older
+// schemas are strict subsets (version 1 merely lacks "m2") — and
+// rejects newer files rather than misreading them.
+const SchemaVersion = 2
 
 // Snapshot is the serialised form of a Store: every record's decayed
 // evidence as of CreatedUnix.
@@ -86,6 +91,11 @@ type SnapshotOutcome struct {
 	Weight float64 `json:"weight"`
 	// Mean is the weighted mean of the reported seconds.
 	Mean float64 `json:"mean"`
+	// M2 is the stream's decayed Welford sum of squared deviations (its
+	// variance is M2/Weight). Zero — including in version-1 snapshots,
+	// which predate the field — means no tracked spread; the restoring
+	// posterior falls back to the prior's.
+	M2 float64 `json:"m2,omitempty"`
 	// Source tags evidence merged from a peer process (Store.Merge);
 	// empty for evidence fed back directly to this process. Optional, so
 	// schema-version-1 snapshots from before cross-process merging read
@@ -133,7 +143,7 @@ func (st *Store) snapshot(profileID string, localOnly bool) *Snapshot {
 				}
 				ao.decayTo(now, st.halfLife)
 				sr.Outcomes = append(sr.Outcomes, SnapshotOutcome{
-					Algorithm: key.alg, Count: ao.count, Weight: ao.weight, Mean: ao.mean, Source: key.source,
+					Algorithm: key.alg, Count: ao.count, Weight: ao.weight, Mean: ao.mean, M2: ao.m2, Source: key.source,
 				})
 			}
 			if len(sr.Outcomes) == 0 {
@@ -163,8 +173,8 @@ func (st *Store) snapshot(profileID string, localOnly bool) *Snapshot {
 // is the algorithm index within its set — is the restoring engine's
 // job, which knows the registry.
 func (s *Snapshot) Validate() error {
-	if s.SchemaVersion != SchemaVersion {
-		return fmt.Errorf("outcomes: snapshot has schema version %d, this build reads %d",
+	if s.SchemaVersion < 1 || s.SchemaVersion > SchemaVersion {
+		return fmt.Errorf("outcomes: snapshot has schema version %d, this build reads 1 through %d",
 			s.SchemaVersion, SchemaVersion)
 	}
 	for _, rec := range s.Records {
@@ -189,6 +199,8 @@ func (s *Snapshot) Validate() error {
 				return fmt.Errorf("outcomes: snapshot record %s%v algorithm %d has weight %v, want a positive finite value", rec.Expr, rec.Instance, o.Algorithm, o.Weight)
 			case !(o.Mean > 0) || math.IsInf(o.Mean, 0):
 				return fmt.Errorf("outcomes: snapshot record %s%v algorithm %d has mean %v, want a positive finite duration", rec.Expr, rec.Instance, o.Algorithm, o.Mean)
+			case o.M2 < 0 || math.IsInf(o.M2, 0) || math.IsNaN(o.M2):
+				return fmt.Errorf("outcomes: snapshot record %s%v algorithm %d has m2 %v, want a non-negative finite value", rec.Expr, rec.Instance, o.Algorithm, o.M2)
 			}
 		}
 	}

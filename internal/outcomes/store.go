@@ -15,6 +15,7 @@ package outcomes
 
 import (
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -62,21 +63,27 @@ type outcomeKey struct {
 }
 
 // algOutcome aggregates the measurements reported for one algorithm at
-// one instance: a decayed-weight running mean plus the raw count.
+// one instance: a decayed-weight running mean and Welford spread plus
+// the raw count.
 type algOutcome struct {
 	count  int     // raw measurements ever recorded (never decayed)
 	weight float64 // decayed pseudo-count
 	mean   float64 // weighted mean of reported seconds
+	m2     float64 // weighted sum of squared deviations (Welford)
 	last   float64 // unix seconds the weight was last decayed to
 }
 
 // decayTo folds wall time into the weight: halving per halfLife seconds
-// since the last touch.
+// since the last touch. m2 decays by the same factor, so the stream's
+// variance (m2/weight) is invariant under decay — old evidence loses
+// mass, not spread.
 func (a *algOutcome) decayTo(now, halfLife float64) {
 	if halfLife <= 0 || now <= a.last {
 		return
 	}
-	a.weight *= math.Exp2(-(now - a.last) / halfLife)
+	f := math.Exp2(-(now - a.last) / halfLife)
+	a.weight *= f
+	a.m2 *= f
 	a.last = now
 }
 
@@ -137,9 +144,14 @@ func (st *Store) Add(exprName string, inst expr.Instance, alg int, seconds float
 		o.algs[key] = ao
 	}
 	ao.decayTo(st.now(), st.halfLife)
+	// Weighted Welford update with a unit-mass increment: the mean
+	// matches the plain running mean exactly, and m2 accumulates the
+	// weighted squared deviations that back the posterior's variance.
 	ao.count++
 	ao.weight++
-	ao.mean += (seconds - ao.mean) / ao.weight
+	delta := seconds - ao.mean
+	ao.mean += delta / ao.weight
+	ao.m2 += delta * (seconds - ao.mean)
 }
 
 // restore installs one snapshot outcome verbatim (weight, mean, count,
@@ -158,7 +170,11 @@ func (st *Store) install(exprName string, inst expr.Instance, o SnapshotOutcome,
 		count:  o.Count,
 		weight: o.Weight * scale,
 		mean:   o.Mean,
-		last:   last,
+		// m2 scales with the weight so the stream's variance survives the
+		// scaling unchanged. Version-1 snapshots carry no m2 (zero), which
+		// downstream reads as "no tracked spread; the prior's stands in".
+		m2:   o.M2 * scale,
+		last: last,
 	}
 }
 
@@ -229,7 +245,11 @@ func (st *Store) Near(exprName string, inst expr.Instance, radius float64) []sel
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := st.now()
-	var out []selection.Observation
+	type stream struct {
+		src string
+		o   selection.Observation
+	}
+	var matches []stream
 	for _, o := range st.byExpr[exprName] {
 		d := logDistance(coords, o.coords)
 		if d > radius {
@@ -242,14 +262,38 @@ func (st *Store) Near(exprName string, inst expr.Instance, radius float64) []sel
 		// combine without the store pre-aggregating them.
 		for key, ao := range o.algs {
 			ao.decayTo(now, st.halfLife)
-			out = append(out, selection.Observation{
+			matches = append(matches, stream{src: key.source, o: selection.Observation{
 				Algorithm: key.alg,
 				Seconds:   ao.mean,
 				Count:     ao.count,
 				Weight:    ao.weight,
 				Distance:  d,
-			})
+				M2:        ao.m2,
+			}})
 		}
+	}
+	// Map iteration order is random; the posterior accumulates these in
+	// floating point, so identical store states must serve identically
+	// ordered evidence or repeated queries would drift in the last bits.
+	sort.Slice(matches, func(i, j int) bool {
+		a, b := matches[i], matches[j]
+		if a.o.Algorithm != b.o.Algorithm {
+			return a.o.Algorithm < b.o.Algorithm
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.o.Distance != b.o.Distance {
+			return a.o.Distance < b.o.Distance
+		}
+		return a.o.Seconds < b.o.Seconds
+	})
+	if len(matches) == 0 {
+		return nil
+	}
+	out := make([]selection.Observation, len(matches))
+	for i, m := range matches {
+		out[i] = m.o
 	}
 	return out
 }

@@ -1,0 +1,139 @@
+package outcomes
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"lamb/internal/expr"
+)
+
+func TestStoreTracksWelfordVariance(t *testing.T) {
+	st, _ := frozenStore(16, 0)
+	inst := expr.Instance{80, 514, 768}
+	for _, s := range []float64{1.0, 2.0, 3.0} {
+		st.Add("AATB", inst, 2, s)
+	}
+	obs := st.Near("AATB", inst, 0.01)
+	if len(obs) != 1 {
+		t.Fatalf("observations %v", obs)
+	}
+	o := obs[0]
+	if o.Seconds != 2.0 || o.Weight != 3 {
+		t.Fatalf("mean/weight %+v", o)
+	}
+	// Squared deviations from the running mean: M2 = (1-2)² + (2-2)² +
+	// (3-2)² = 2, so the stream's variance M2/weight is 2/3.
+	if math.Abs(o.M2-2.0) > 1e-12 {
+		t.Fatalf("m2 %v, want 2.0", o.M2)
+	}
+	if v := o.M2 / o.Weight; math.Abs(v-2.0/3.0) > 1e-12 {
+		t.Fatalf("variance %v, want 2/3", v)
+	}
+	// Identical measurements carry zero spread.
+	st.Add("AATB", inst, 3, 0.5)
+	st.Add("AATB", inst, 3, 0.5)
+	for _, o := range st.Near("AATB", inst, 0.01) {
+		if o.Algorithm == 3 && o.M2 != 0 {
+			t.Fatalf("constant stream has m2 %v", o.M2)
+		}
+	}
+}
+
+// TestStoreVarianceInvariantUnderDecay pins the decay design: weight and
+// m2 decay by the same factor, so old evidence loses mass but keeps its
+// spread — the posterior never reads decayed evidence as more certain.
+func TestStoreVarianceInvariantUnderDecay(t *testing.T) {
+	st, now := frozenStore(16, time.Hour)
+	inst := expr.Instance{100, 200, 300}
+	st.Add("AATB", inst, 1, 1.0)
+	st.Add("AATB", inst, 1, 3.0)
+	before := st.Near("AATB", inst, 0.01)[0]
+	varBefore := before.M2 / before.Weight
+
+	*now += 2 * 3600
+	after := st.Near("AATB", inst, 0.01)[0]
+	if after.Weight != before.Weight/4 {
+		t.Fatalf("weight %v after two half-lives, want %v", after.Weight, before.Weight/4)
+	}
+	if got := after.M2 / after.Weight; math.Abs(got-varBefore) > 1e-12 {
+		t.Fatalf("variance drifted under decay: %v -> %v", varBefore, got)
+	}
+}
+
+func TestSnapshotRoundTripsVariance(t *testing.T) {
+	st, _ := frozenStore(16, 0)
+	inst := expr.Instance{80, 514, 768}
+	st.Add("AATB", inst, 2, 0.4)
+	st.Add("AATB", inst, 2, 0.6)
+	snap := st.Snapshot("p")
+	if snap.SchemaVersion != 2 {
+		t.Fatalf("schema version %d", snap.SchemaVersion)
+	}
+	m2 := snap.Records[0].Outcomes[0].M2
+	if math.Abs(m2-0.02) > 1e-15 {
+		t.Fatalf("snapshot m2 %v, want 0.02", m2)
+	}
+
+	restored, _ := frozenStore(16, 0)
+	if n, skipped := restored.Restore(snap, nil); n != 1 || skipped != 0 {
+		t.Fatalf("restore %d/%d", n, skipped)
+	}
+	// Restore is verbatim: the stream comes back bit-for-bit.
+	obs := restored.Near("AATB", inst, 0.01)
+	if len(obs) != 1 || obs[0].M2 != m2 {
+		t.Fatalf("restored observation %+v", obs)
+	}
+}
+
+// TestRestoreAcceptsSchemaVersion1 is the compatibility pin: a snapshot
+// written before m2 existed restores cleanly, its streams reporting no
+// tracked spread.
+func TestRestoreAcceptsSchemaVersion1(t *testing.T) {
+	v1 := `{
+	 "schema_version": 1,
+	 "created_unix": 1000,
+	 "records": [
+	  {"expr": "AATB", "instance": [80,514,768], "outcomes": [
+	   {"algorithm": 2, "count": 3, "weight": 2.5, "mean": 0.0004}
+	  ]}
+	 ]
+	}`
+	snap, err := DecodeSnapshot(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	st, _ := frozenStore(16, 0)
+	if n, _ := st.Restore(snap, nil); n != 1 {
+		t.Fatalf("restored %d", n)
+	}
+	obs := st.Near("AATB", expr.Instance{80, 514, 768}, 0.01)
+	if len(obs) != 1 {
+		t.Fatalf("observations %v", obs)
+	}
+	if o := obs[0]; o.Weight != 2.5 || o.Seconds != 0.0004 || o.M2 != 0 {
+		t.Fatalf("restored v1 observation %+v", o)
+	}
+}
+
+func TestDecodeRejectsNewerSchemaAndBadM2(t *testing.T) {
+	newer := `{"schema_version": 3, "created_unix": 1, "records": []}`
+	if _, err := DecodeSnapshot(strings.NewReader(newer)); err == nil ||
+		!strings.Contains(err.Error(), "reads 1 through 2") {
+		t.Fatalf("version-3 snapshot accepted: %v", err)
+	}
+	badM2 := `{
+	 "schema_version": 2,
+	 "created_unix": 1,
+	 "records": [
+	  {"expr": "AATB", "instance": [8,5,7], "outcomes": [
+	   {"algorithm": 1, "count": 1, "weight": 1, "mean": 0.1, "m2": -1}
+	  ]}
+	 ]
+	}`
+	if _, err := DecodeSnapshot(strings.NewReader(badM2)); err == nil ||
+		!strings.Contains(err.Error(), "m2") {
+		t.Fatalf("negative m2 accepted: %v", err)
+	}
+}

@@ -14,9 +14,9 @@ import (
 )
 
 // Anti-entropy gossip: every MergeEvery the router pulls each up
-// backend's local outcome snapshot (GET /api/outcomes — firsthand
+// backend's local outcome snapshot (GET /api/v1/outcomes — firsthand
 // evidence only) and pushes it to every other up backend
-// (POST /api/admin/merge), weights discounted by MergeScale. The merge
+// (POST /api/v1/admin/merge), weights discounted by MergeScale. The merge
 // endpoint is idempotent (replace-by-source), so overlapping rounds,
 // retries, and multiple routers gossiping the same fleet are all safe —
 // convergence without coordination. This is what turns N shard-local
@@ -79,7 +79,7 @@ func (rt *Router) fetchOutcomes(ctx context.Context, b *backendState) ([]byte, e
 	if err := faultinject.FireCtx(ctx, "router.merge"); err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/api/outcomes", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/api/v1/outcomes", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +103,7 @@ func (rt *Router) fetchOutcomes(ctx context.Context, b *backendState) ([]byte, e
 func (rt *Router) pushMerge(ctx context.Context, dst *backendState, source string, snap []byte) (int, error) {
 	ctx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 	defer cancel()
-	target := fmt.Sprintf("%s/api/admin/merge?source=%s&scale=%s",
+	target := fmt.Sprintf("%s/api/v1/admin/merge?source=%s&scale=%s",
 		dst.url, url.QueryEscape(source), url.QueryEscape(fmt.Sprintf("%g", rt.cfg.MergeScale)))
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(snap))
 	if err != nil {

@@ -17,18 +17,28 @@ import (
 // The router's HTTP surface mirrors the serve API — a client pointed at
 // a router instead of a single backend sees the same endpoints and the
 // same record schema — with the router's own /healthz and /api/stats.
+// Like the serve layer, the documented surface is /api/v1/ and the
+// legacy /api/ paths remain as deprecated aliases.
 
 // Handler assembles the route table.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
-	mux.HandleFunc("GET /api/stats", func(w http.ResponseWriter, r *http.Request) {
+	api := func(method, path string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" /api/v1"+path, h)
+		mux.HandleFunc(method+" /api"+path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", `</api/v1`+path+`>; rel="successor-version"`)
+			h(w, r)
+		})
+	}
+	api("GET", "/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, rt.Stats())
 	})
-	mux.HandleFunc("GET /api/expressions", rt.handleExpressions)
-	mux.HandleFunc("POST /api/query", rt.handleQuery)
-	mux.HandleFunc("POST /api/batch", rt.handleBatch)
-	mux.HandleFunc("POST /api/feedback", rt.handleFeedback)
+	api("GET", "/expressions", rt.handleExpressions)
+	api("POST", "/query", rt.handleQuery)
+	api("POST", "/batch", rt.handleBatch)
+	api("POST", "/feedback", rt.handleFeedback)
 	return mux
 }
 
@@ -70,12 +80,24 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := requestCtx(r, q.TimeoutMs)
 	defer cancel()
-	cands := rt.ring.candidates(shardKey(q.Expr, q.Instance))
-	// Hedging is reserved for timed strategies: an oracle query's
-	// latency is backend-side measurement, the work a straggler
-	// stretches into the tail.
-	res := rt.forward(ctx, cands, "/api/query", body, q.Strategy == "oracle")
+	key := shardKey(q.Expr, q.Instance)
+	cands := rt.ring.candidates(key)
+	// Hedging is reserved for queries where tail latency is worth
+	// doubled backend work: timed strategies (an oracle query's latency
+	// is backend-side measurement, the work a straggler stretches into
+	// the tail) and adaptive queries in regions the engine itself
+	// reported low confidence for — an uncertain answer arriving late is
+	// the worst of both.
+	hedge := q.Strategy == "oracle"
+	if !hedge && q.Strategy == "adaptive" && rt.cfg.HedgeAfter > 0 && rt.lowConfidence(key) {
+		hedge = true
+		rt.lowConfHedges.Add(1)
+	}
+	res := rt.forward(ctx, cands, "/api/v1/query", body, hedge)
 	if res.err == nil {
+		// The record (confidence included) is relayed untouched; the
+		// router only remembers the confidence to steer future hedging.
+		rt.observeConfidence(key, res)
 		relay(w, res)
 		return
 	}
@@ -91,9 +113,10 @@ func (rt *Router) localQuery(w http.ResponseWriter, ctx context.Context, q query
 		writeError(w, http.StatusServiceUnavailable, errNoBackend)
 		return
 	}
-	rec, err := rt.cfg.Local.QueryCtx(ctx, engine.Query{
-		Expr: q.Expr, Instance: expr.Instance(q.Instance), Strategy: "min-flops",
-	})
+	res := rt.cfg.Local.Do(ctx, engine.Request{Queries: []engine.Query{
+		{Expr: q.Expr, Instance: expr.Instance(q.Instance), Strategy: "min-flops"},
+	}})
+	rec, err := res[0].Record, res[0].Err
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			writeError(w, http.StatusGatewayTimeout, err)
@@ -120,9 +143,10 @@ func (rt *Router) localBatchItem(ctx context.Context, raw json.RawMessage) json.
 	if rt.cfg.Local == nil {
 		return errorItem(errNoBackend)
 	}
-	rec, err := rt.cfg.Local.QueryCtx(ctx, engine.Query{
-		Expr: q.Expr, Instance: expr.Instance(q.Instance), Strategy: "min-flops",
-	})
+	res := rt.cfg.Local.Do(ctx, engine.Request{Queries: []engine.Query{
+		{Expr: q.Expr, Instance: expr.Instance(q.Instance), Strategy: "min-flops"},
+	}})
+	rec, err := res[0].Record, res[0].Err
 	if err != nil {
 		return errorItem(err)
 	}
@@ -221,7 +245,7 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 				mu.Unlock()
 				return
 			}
-			res := rt.forward(ctx, g.cands, "/api/batch", payload, false)
+			res := rt.forward(ctx, g.cands, "/api/v1/batch", payload, false)
 			var sub struct {
 				Results []json.RawMessage `json:"results"`
 			}
@@ -259,7 +283,7 @@ func (rt *Router) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := requestCtx(r, 0)
 	defer cancel()
-	res := rt.forward(ctx, rt.ring.candidates(shardKey(q.Expr, q.Instance)), "/api/feedback", body, false)
+	res := rt.forward(ctx, rt.ring.candidates(shardKey(q.Expr, q.Instance)), "/api/v1/feedback", body, false)
 	if res.err != nil {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("feedback not stored: %w", res.err))
@@ -278,7 +302,7 @@ func (rt *Router) handleExpressions(w http.ResponseWriter, r *http.Request) {
 		if !b.up.Load() {
 			continue
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/api/expressions", nil)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/api/v1/expressions", nil)
 		if err != nil {
 			continue
 		}

@@ -3,6 +3,7 @@ package router
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -41,11 +42,13 @@ type Config struct {
 	BackoffMax     time.Duration
 	AttemptTimeout time.Duration
 
-	// HedgeAfter, when positive, arms tail-latency hedging for timed
-	// strategies (oracle): if the owning shard hasn't answered within
-	// HedgeAfter, the same query races on the next candidate and the
-	// first success wins. Off by default — hedging a measurement doubles
-	// backend work, worth it only when tail latency matters more.
+	// HedgeAfter, when positive, arms tail-latency hedging: if the
+	// owning shard hasn't answered within HedgeAfter, the same query
+	// races on the next candidate and the first success wins. Hedging
+	// applies to timed strategies (oracle) and to adaptive queries whose
+	// last answer for the shard key reported confidence below
+	// DefaultHedgeConfidence. Off by default — hedging doubles backend
+	// work, worth it only when tail latency matters more.
 	HedgeAfter time.Duration
 
 	// MergeEvery, when positive, runs the anti-entropy gossip loop:
@@ -109,10 +112,58 @@ type Router struct {
 	retriesTotal   atomic.Uint64
 	hedged         atomic.Uint64
 	hedgeWins      atomic.Uint64
+	lowConfHedges  atomic.Uint64
 	degraded       atomic.Uint64
 	mergeRounds    atomic.Uint64
 	mergeErrors    atomic.Uint64
 	mergedOutcomes atomic.Uint64
+
+	// confMu guards conf: the last confidence each shard key's answer
+	// reported, feeding lowConfidence's hedge-eligibility check.
+	confMu sync.Mutex
+	conf   map[string]float64
+}
+
+// DefaultHedgeConfidence is the confidence floor for adaptive-query
+// hedging: when a shard key's last answer was less sure than this that
+// its top pick is actually fastest, the next adaptive query for that
+// key is worth racing on two backends — an uncertain answer arriving
+// late is the worst of both.
+const DefaultHedgeConfidence = 0.5
+
+// maxConfKeys bounds the confidence map. At the cap, known keys keep
+// updating and new keys are dropped — hedging is an optimisation, not
+// a correctness concern, so forgetting the long tail is fine.
+const maxConfKeys = 4096
+
+// observeConfidence remembers the confidence a successful query answer
+// reported for its shard key. Bodies that don't parse or carry no
+// confidence field (old backends) are ignored.
+func (rt *Router) observeConfidence(key string, res attemptResult) {
+	if res.err != nil || res.status != http.StatusOK {
+		return
+	}
+	var rec struct {
+		Confidence *float64 `json:"confidence"`
+	}
+	if json.Unmarshal(res.body, &rec) != nil || rec.Confidence == nil {
+		return
+	}
+	rt.confMu.Lock()
+	if _, known := rt.conf[key]; known || len(rt.conf) < maxConfKeys {
+		rt.conf[key] = *rec.Confidence
+	}
+	rt.confMu.Unlock()
+}
+
+// lowConfidence reports whether the shard key's last observed answer
+// was below the hedge-eligibility floor. Keys never seen report false:
+// with no evidence of uncertainty, hedging is not worth doubled work.
+func (rt *Router) lowConfidence(key string) bool {
+	rt.confMu.Lock()
+	c, known := rt.conf[key]
+	rt.confMu.Unlock()
+	return known && c < DefaultHedgeConfidence
 }
 
 // New validates the config, fills defaults, and builds the router.
@@ -169,6 +220,7 @@ func New(cfg Config) (*Router, error) {
 		byURL:  make(map[string]*backendState, len(cfg.Backends)),
 		client: cfg.Client,
 		stop:   make(chan struct{}),
+		conf:   make(map[string]float64),
 	}
 	if rt.client == nil {
 		rt.client = &http.Client{}
@@ -228,29 +280,35 @@ type BackendStats struct {
 // Stats is the router's /api/stats body: fleet state plus the routing
 // and gossip counters.
 type Stats struct {
-	Backends        []BackendStats `json:"backends"`
-	Up              int            `json:"up"`
-	Forwards        uint64         `json:"forwards"`
-	Retries         uint64         `json:"retries"`
-	Hedged          uint64         `json:"hedged"`
-	HedgeWins       uint64         `json:"hedge_wins"`
-	DegradedQueries uint64         `json:"degraded_queries"`
-	MergeRounds     uint64         `json:"merge_rounds"`
-	MergeErrors     uint64         `json:"merge_errors"`
-	MergedOutcomes  uint64         `json:"merged_outcomes"`
+	Backends  []BackendStats `json:"backends"`
+	Up        int            `json:"up"`
+	Forwards  uint64         `json:"forwards"`
+	Retries   uint64         `json:"retries"`
+	Hedged    uint64         `json:"hedged"`
+	HedgeWins uint64         `json:"hedge_wins"`
+	// LowConfidenceHedges counts adaptive queries that became
+	// hedge-eligible because their shard key's last answer reported low
+	// confidence (a subset of queries, not of Hedged: eligibility arms
+	// the race; Hedged counts races the hedge timer actually fired for).
+	LowConfidenceHedges uint64 `json:"low_confidence_hedges"`
+	DegradedQueries     uint64 `json:"degraded_queries"`
+	MergeRounds         uint64 `json:"merge_rounds"`
+	MergeErrors         uint64 `json:"merge_errors"`
+	MergedOutcomes      uint64 `json:"merged_outcomes"`
 }
 
 // Stats snapshots the router's counters.
 func (rt *Router) Stats() Stats {
 	s := Stats{
-		Forwards:        rt.forwardsTotal.Load(),
-		Retries:         rt.retriesTotal.Load(),
-		Hedged:          rt.hedged.Load(),
-		HedgeWins:       rt.hedgeWins.Load(),
-		DegradedQueries: rt.degraded.Load(),
-		MergeRounds:     rt.mergeRounds.Load(),
-		MergeErrors:     rt.mergeErrors.Load(),
-		MergedOutcomes:  rt.mergedOutcomes.Load(),
+		Forwards:            rt.forwardsTotal.Load(),
+		Retries:             rt.retriesTotal.Load(),
+		Hedged:              rt.hedged.Load(),
+		HedgeWins:           rt.hedgeWins.Load(),
+		LowConfidenceHedges: rt.lowConfHedges.Load(),
+		DegradedQueries:     rt.degraded.Load(),
+		MergeRounds:         rt.mergeRounds.Load(),
+		MergeErrors:         rt.mergeErrors.Load(),
+		MergedOutcomes:      rt.mergedOutcomes.Load(),
 	}
 	for _, b := range rt.backends {
 		state, opens := b.br.snapshot()

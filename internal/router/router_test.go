@@ -438,9 +438,9 @@ func TestRouterGossipMergeRound(t *testing.T) {
 		var f *fakeBackend
 		f = newFakeBackend(t, func(w http.ResponseWriter, r *http.Request) {
 			switch {
-			case r.Method == http.MethodGet && r.URL.Path == "/api/outcomes":
+			case r.Method == http.MethodGet && r.URL.Path == "/api/v1/outcomes":
 				w.Write([]byte(snapshot))
-			case r.Method == http.MethodPost && r.URL.Path == "/api/admin/merge":
+			case r.Method == http.MethodPost && r.URL.Path == "/api/v1/admin/merge":
 				*calls = append(*calls, mergeCall{r.URL.Query().Get("source"), r.URL.Query().Get("scale")})
 				w.Write([]byte(`{"merged":3,"skipped":0}`))
 			default:

@@ -34,13 +34,17 @@ type InstanceStrategy interface {
 // log-shape space. Weight, when positive, is the time-decayed
 // pseudo-count the outcome store maintains (half-life decay on stale
 // evidence); when zero, the raw Count stands in — so sources without
-// decay keep working unchanged.
+// decay keep working unchanged. M2, when positive, is the stream's
+// Welford sum of squared deviations (its variance is M2 divided by the
+// evidence mass), so the posterior can carry an honest spread; zero
+// means the source tracks no variance and the prior's spread stands in.
 type Observation struct {
 	Algorithm int
 	Seconds   float64
 	Count     int
 	Weight    float64
 	Distance  float64
+	M2        float64
 }
 
 // weight is the observation's effective evidence mass: the decayed
@@ -88,6 +92,10 @@ type Adaptive struct {
 	Radius float64
 	// PriorWeight is the prior's pseudo-count (default DefaultPriorWeight).
 	PriorWeight float64
+	// PriorRelStd is the prior's relative spread (default
+	// DefaultPriorRelStd): the virtual prior observation carries a
+	// standard deviation of PriorRelStd times the predicted time.
+	PriorRelStd float64
 }
 
 // Name implements Strategy.
@@ -99,8 +107,19 @@ func (s Adaptive) Choose(algs []expr.Algorithm) int {
 	return s.ChooseFor(nil, algs)
 }
 
-// ChooseFor implements InstanceStrategy.
+// ChooseFor implements InstanceStrategy: the posterior-mean argmin.
 func (s Adaptive) ChooseFor(inst expr.Instance, algs []expr.Algorithm) int {
+	return BestIndex(s.Posterior(inst, algs))
+}
+
+// Posterior computes the per-algorithm time posterior at inst: each
+// algorithm's virtual prior observation (mass PriorWeight at the
+// predicted time, spread PriorRelStd·predicted) pooled with its
+// distance-weighted measured outcomes. The pooled mean reproduces the
+// blend formula above exactly; the pooled variance mixes each stream's
+// own spread with the spread *between* stream means, so disagreeing
+// evidence widens the posterior instead of silently averaging away.
+func (s Adaptive) Posterior(inst expr.Instance, algs []expr.Algorithm) []AlgPosterior {
 	if len(algs) == 0 {
 		panic("selection: choose from empty set")
 	}
@@ -115,12 +134,19 @@ func (s Adaptive) ChooseFor(inst expr.Instance, algs []expr.Algorithm) int {
 	if w0 <= 0 {
 		w0 = DefaultPriorWeight
 	}
-	// sumW/sumWT accumulate per algorithm position. Observations name
-	// algorithms by their 1-based Algorithm.Index, which coincides with
-	// position+1 only for full enumeration sets — a caller may pass a
-	// filtered or reordered set, so match on Index.
+	relStd := s.PriorRelStd
+	if relStd <= 0 {
+		relStd = DefaultPriorRelStd
+	}
+	// sumW/sumWM/sumWS accumulate per algorithm position: evidence mass,
+	// weighted first moment, and weighted second moment. Observations
+	// name algorithms by their 1-based Algorithm.Index, which coincides
+	// with position+1 only for full enumeration sets — a caller may pass
+	// a filtered or reordered set, so match on Index.
 	sumW := make([]float64, len(algs))
-	sumWT := make([]float64, len(algs))
+	sumWM := make([]float64, len(algs))
+	sumWS := make([]float64, len(algs))
+	informed := make([]bool, len(algs))
 	if s.Observe != nil && inst != nil {
 		pos := make(map[int]int, len(algs))
 		for i := range algs {
@@ -133,17 +159,34 @@ func (s Adaptive) ChooseFor(inst expr.Instance, algs []expr.Algorithm) int {
 			}
 			d := o.Distance / radius
 			w := o.weight() * math.Exp(-d*d)
+			v := 0.0
+			if o.M2 > 0 {
+				v = o.M2 / o.weight()
+			}
 			sumW[i] += w
-			sumWT[i] += w * o.Seconds
+			sumWM[i] += w * o.Seconds
+			sumWS[i] += w * (v + o.Seconds*o.Seconds)
+			informed[i] = true
 		}
 	}
-	best := 0
-	bestT := math.Inf(1)
+	post := make([]AlgPosterior, len(algs))
 	for i := range algs {
-		t := (w0*s.Prior.PredictAlgorithm(&algs[i]) + sumWT[i]) / (w0 + sumW[i])
-		if t < bestT {
-			best, bestT = i, t
+		p := s.Prior.PredictAlgorithm(&algs[i])
+		v0 := relStd * p * relStd * p
+		mass := w0 + sumW[i]
+		mean := (w0*p + sumWM[i]) / mass
+		second := (w0*(v0+p*p) + sumWS[i]) / mass
+		variance := second - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		post[i] = AlgPosterior{
+			Algorithm: algs[i].Index,
+			Mean:      mean,
+			StdErr:    math.Sqrt(variance / mass),
+			Weight:    mass,
+			Informed:  informed[i],
 		}
 	}
-	return best
+	return post
 }

@@ -1,0 +1,182 @@
+package selection
+
+import (
+	"math"
+
+	"lamb/internal/expr"
+	"lamb/internal/xrand"
+)
+
+// The follow-up paper "A Test for FLOPs as a Discriminant for Linear
+// Algebra Algorithms" (arXiv:2209.03258) asks not just *which*
+// algorithm is fastest but *how sure* a selector can be: it builds a
+// statistical test for when the min-FLOPs discriminant is trustworthy.
+// This file implements that test over the Adaptive posterior — each
+// algorithm's execution time is summarised as a normal with a mean and
+// a standard error, and the test statistics below (pairwise beat
+// probability, top-2 gap confidence, Monte Carlo win probabilities)
+// turn those posteriors into a ranking with honest uncertainty.
+
+// DefaultPriorRelStd is the prior's relative spread: the paper's
+// profile-based predictions land within a few tens of percent of
+// measured times on the studied machines, so the virtual prior
+// observation carries a standard deviation of a quarter of the
+// predicted time.
+const DefaultPriorRelStd = 0.25
+
+// DefaultRankSamples is the Monte Carlo sample count for full-ranking
+// win probabilities. A power of two so that counts/samples sums to
+// exactly 1 in floating point.
+const DefaultRankSamples = 512
+
+// DefaultAnomalyThreshold flags the paper's mispredict regions: a query
+// is anomalous when the min-FLOPs pick's probability of beating the
+// posterior-best algorithm falls below this value — i.e. the evidence
+// contradicts the discriminant with ≥90% confidence.
+const DefaultAnomalyThreshold = 0.1
+
+// AlgPosterior is one algorithm's time posterior: a normal summary of
+// everything known about its execution time at the queried instance.
+type AlgPosterior struct {
+	// Algorithm is the 1-based algorithm index (Algorithm.Index).
+	Algorithm int
+	// Mean is the posterior mean execution time in seconds.
+	Mean float64
+	// StdErr is the standard error of the mean: the pooled standard
+	// deviation shrunk by the total evidence mass.
+	StdErr float64
+	// Weight is the total evidence mass behind the estimate (prior
+	// pseudo-count plus distance-weighted observation mass).
+	Weight float64
+	// Informed reports whether any measured outcome contributed.
+	Informed bool
+}
+
+// BestIndex returns the position of the posterior-mean argmin — strict
+// minimum, first wins — matching the deterministic tie-break every
+// other strategy in this package uses.
+func BestIndex(post []AlgPosterior) int {
+	if len(post) == 0 {
+		panic("selection: choose from empty set")
+	}
+	best := 0
+	bestT := post[0].Mean
+	for i := 1; i < len(post); i++ {
+		if post[i].Mean < bestT {
+			best, bestT = i, post[i].Mean
+		}
+	}
+	return best
+}
+
+// normalCDF is Φ(x) via the complementary error function.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// BeatProbability is P(tₐ < t_b) under independent normal posteriors:
+// Φ((μ_b−μₐ)/√(σₐ²+σ_b²)). With both spreads zero the answer is
+// decided by the means alone (½ on an exact tie).
+func BeatProbability(a, b AlgPosterior) float64 {
+	denom := math.Sqrt(a.StdErr*a.StdErr + b.StdErr*b.StdErr)
+	if denom == 0 {
+		switch {
+		case a.Mean < b.Mean:
+			return 1
+		case a.Mean > b.Mean:
+			return 0
+		default:
+			return 0.5
+		}
+	}
+	return normalCDF((b.Mean - a.Mean) / denom)
+}
+
+// GapConfidence is the closed-form top-2 test statistic: the
+// probability that the posterior-best algorithm beats the runner-up.
+// Near ½ the ranking's head is a coin flip; near 1 it is settled. A
+// single-algorithm set is trivially certain.
+func GapConfidence(post []AlgPosterior) float64 {
+	if len(post) < 2 {
+		return 1
+	}
+	best := BestIndex(post)
+	runner := -1
+	for i := range post {
+		if i == best {
+			continue
+		}
+		if runner < 0 || post[i].Mean < post[runner].Mean {
+			runner = i
+		}
+	}
+	return BeatProbability(post[best], post[runner])
+}
+
+// WinProbabilities estimates each algorithm's probability of being the
+// fastest. Two algorithms use the closed form (so the pair sums to
+// exactly 1); larger sets are sampled samples times (default
+// DefaultRankSamples) from the posteriors, counting argmin wins — ties
+// go to the lowest position, matching BestIndex. The result sums to
+// exactly 1 whenever samples is a power of two.
+func WinProbabilities(post []AlgPosterior, rng *xrand.Rand, samples int) []float64 {
+	switch len(post) {
+	case 0:
+		return nil
+	case 1:
+		return []float64{1}
+	case 2:
+		p := BeatProbability(post[0], post[1])
+		return []float64{p, 1 - p}
+	}
+	if samples <= 0 {
+		samples = DefaultRankSamples
+	}
+	if rng == nil {
+		rng = xrand.New(0)
+	}
+	wins := make([]int, len(post))
+	for s := 0; s < samples; s++ {
+		wins[sampleBest(post, rng)]++
+	}
+	out := make([]float64, len(post))
+	for i, w := range wins {
+		out[i] = float64(w) / float64(samples)
+	}
+	return out
+}
+
+// SampleBest draws one execution time per algorithm from its posterior
+// and returns the argmin position — one Thompson sampling round. An
+// algorithm is selected with exactly its posterior probability of being
+// fastest, which is what makes the exploration policy self-correcting:
+// under-observed alternatives with wide posteriors get tried, settled
+// losers do not.
+func SampleBest(post []AlgPosterior, rng *xrand.Rand) int {
+	if len(post) == 0 {
+		panic("selection: choose from empty set")
+	}
+	return sampleBest(post, rng)
+}
+
+func sampleBest(post []AlgPosterior, rng *xrand.Rand) int {
+	best := 0
+	bestT := math.Inf(1)
+	for i := range post {
+		t := post[i].Mean + post[i].StdErr*rng.NormFloat64()
+		if t < bestT {
+			best, bestT = i, t
+		}
+	}
+	return best
+}
+
+// FlopsPredictor is the profile-free prior: an algorithm's "time" is
+// its FLOP count. The scale is wrong (operations, not seconds) but the
+// induced order is exactly the paper's min-FLOPs discriminant, so a
+// posterior built on it ranks identically to MinFlops until real
+// outcomes arrive.
+type FlopsPredictor struct{}
+
+// PredictAlgorithm implements Predictor.
+func (FlopsPredictor) PredictAlgorithm(a *expr.Algorithm) float64 { return a.Flops() }

@@ -1,0 +1,235 @@
+package selection
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"lamb/internal/expr"
+	"lamb/internal/xrand"
+)
+
+func TestPosteriorWithoutEvidenceIsThePrior(t *testing.T) {
+	prior := stubPredictor{1: 3.0, 2: 1.0, 3: 2.0}
+	s := Adaptive{Prior: prior}
+	post := s.Posterior(expr.Instance{100, 100}, stubAlgs(3))
+	if len(post) != 3 {
+		t.Fatalf("posterior length %d", len(post))
+	}
+	for i, want := range []float64{3.0, 1.0, 2.0} {
+		if post[i].Mean != want {
+			t.Fatalf("posterior %d mean %g, want %g", i, post[i].Mean, want)
+		}
+		if post[i].Informed {
+			t.Fatalf("posterior %d informed with no evidence", i)
+		}
+		// Prior-only spread: std = relStd·p, mass = 1, so stderr = relStd·p.
+		wantSE := DefaultPriorRelStd * want
+		if math.Abs(post[i].StdErr-wantSE) > 1e-12 {
+			t.Fatalf("posterior %d stderr %g, want %g", i, post[i].StdErr, wantSE)
+		}
+	}
+	if BestIndex(post) != 1 {
+		t.Fatalf("best %d, want 1", BestIndex(post))
+	}
+}
+
+func TestPosteriorMeanMatchesChooseFor(t *testing.T) {
+	// Posterior is the generalisation of the old blend: the pooled means
+	// must induce exactly the pick ChooseFor makes.
+	prior := stubPredictor{1: 1.0, 2: 1.4, 3: 1.5}
+	s := Adaptive{
+		Prior: prior,
+		Observe: func(expr.Instance) []Observation {
+			return []Observation{
+				{Algorithm: 1, Seconds: 10.0, Count: 3, Distance: 0},
+				{Algorithm: 3, Seconds: 0.1, Count: 3, Distance: 0},
+			}
+		},
+	}
+	algs := stubAlgs(3)
+	inst := expr.Instance{100}
+	post := s.Posterior(inst, algs)
+	if got, want := BestIndex(post), s.ChooseFor(inst, algs); got != want {
+		t.Fatalf("BestIndex %d, ChooseFor %d", got, want)
+	}
+	// alg1: (1 + 3·10)/4 = 7.75; alg3: (1.5 + 3·0.1)/4 = 0.45.
+	if math.Abs(post[0].Mean-7.75) > 1e-12 || math.Abs(post[2].Mean-0.45) > 1e-12 {
+		t.Fatalf("pooled means %g %g", post[0].Mean, post[2].Mean)
+	}
+	if !post[0].Informed || post[1].Informed || !post[2].Informed {
+		t.Fatalf("informed flags %v %v %v", post[0].Informed, post[1].Informed, post[2].Informed)
+	}
+}
+
+func TestPosteriorVarianceShrinksWithEvidence(t *testing.T) {
+	// More mass behind the same mean narrows the standard error — the
+	// property that makes confidence grow with feedback.
+	prior := stubPredictor{1: 1.0}
+	obs := Observation{Algorithm: 1, Seconds: 1.0, Count: 1, Distance: 0}
+	s := Adaptive{Prior: prior, Observe: func(expr.Instance) []Observation {
+		return []Observation{obs}
+	}}
+	algs := stubAlgs(1)
+	inst := expr.Instance{10}
+	narrow := s.Posterior(inst, algs)[0]
+	obs.Count = 20
+	wide := s.Posterior(inst, algs)[0]
+	if wide.StdErr >= narrow.StdErr {
+		t.Fatalf("stderr did not shrink: %g -> %g", narrow.StdErr, wide.StdErr)
+	}
+	if wide.Weight <= narrow.Weight {
+		t.Fatalf("weight did not grow: %g -> %g", narrow.Weight, wide.Weight)
+	}
+}
+
+func TestBeatProbability(t *testing.T) {
+	a := AlgPosterior{Mean: 1.0, StdErr: 0.1}
+	b := AlgPosterior{Mean: 2.0, StdErr: 0.1}
+	if p := BeatProbability(a, b); p < 0.99 {
+		t.Fatalf("clear winner p=%g", p)
+	}
+	if p := BeatProbability(b, a); p > 0.01 {
+		t.Fatalf("clear loser p=%g", p)
+	}
+	if p := BeatProbability(a, a); p != 0.5 {
+		t.Fatalf("self tie p=%g", p)
+	}
+	// Complementarity: P(a<b) + P(b<a) = 1.
+	c := AlgPosterior{Mean: 1.1, StdErr: 0.3}
+	if s := BeatProbability(a, c) + BeatProbability(c, a); math.Abs(s-1) > 1e-12 {
+		t.Fatalf("complement sum %g", s)
+	}
+	// Degenerate posteriors (no spread) decide by mean.
+	z1 := AlgPosterior{Mean: 1}
+	z2 := AlgPosterior{Mean: 2}
+	if BeatProbability(z1, z2) != 1 || BeatProbability(z2, z1) != 0 || BeatProbability(z1, z1) != 0.5 {
+		t.Fatal("degenerate beat probabilities")
+	}
+}
+
+// TestWinProbabilitiesSumToOne is the property test for the ranking: for
+// arbitrary posterior sets of every size, p_best sums to exactly 1 and
+// every entry stays in [0, 1].
+func TestWinProbabilitiesSumToOne(t *testing.T) {
+	gen := xrand.New(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + gen.Intn(6)
+		post := make([]AlgPosterior, n)
+		for i := range post {
+			post[i] = AlgPosterior{
+				Algorithm: i + 1,
+				Mean:      0.1 + gen.Float64(),
+				StdErr:    gen.Float64() * 0.5, // sometimes ~0: degenerate spread
+			}
+		}
+		probs := WinProbabilities(post, xrand.New(uint64(trial)), 0)
+		if len(probs) != n {
+			t.Fatalf("trial %d: %d probs for %d algorithms", trial, len(probs), n)
+		}
+		sum := 0.0
+		for i, p := range probs {
+			if p < 0 || p > 1 {
+				t.Fatalf("trial %d: p[%d]=%g out of range", trial, i, p)
+			}
+			sum += p
+		}
+		// DefaultRankSamples is a power of two and n≤2 is closed-form, so
+		// the sum is exact, not approximate.
+		if sum != 1 {
+			t.Fatalf("trial %d (n=%d): probabilities sum to %g", trial, n, sum)
+		}
+	}
+}
+
+func TestWinProbabilitiesDeterministicUnderSeededSampler(t *testing.T) {
+	post := []AlgPosterior{
+		{Algorithm: 1, Mean: 1.0, StdErr: 0.2},
+		{Algorithm: 2, Mean: 1.1, StdErr: 0.3},
+		{Algorithm: 3, Mean: 1.3, StdErr: 0.1},
+	}
+	a := WinProbabilities(post, xrand.New(99), 0)
+	b := WinProbabilities(post, xrand.New(99), 0)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different probabilities: %v vs %v", a, b)
+	}
+	// The faster, tighter algorithm should dominate.
+	if a[0] <= a[2] {
+		t.Fatalf("ordering lost: %v", a)
+	}
+}
+
+func TestWinProbabilitiesEdgeCases(t *testing.T) {
+	if got := WinProbabilities(nil, nil, 0); got != nil {
+		t.Fatalf("empty set: %v", got)
+	}
+	one := WinProbabilities([]AlgPosterior{{Algorithm: 1, Mean: 2}}, nil, 0)
+	if !reflect.DeepEqual(one, []float64{1}) {
+		t.Fatalf("singleton: %v", one)
+	}
+	// Two algorithms use the closed form even with a nil rng.
+	two := WinProbabilities([]AlgPosterior{
+		{Algorithm: 1, Mean: 1, StdErr: 0.1},
+		{Algorithm: 2, Mean: 9, StdErr: 0.1},
+	}, nil, 0)
+	if two[0] < 0.99 || two[0]+two[1] != 1 {
+		t.Fatalf("closed form: %v", two)
+	}
+}
+
+func TestGapConfidence(t *testing.T) {
+	settled := []AlgPosterior{
+		{Algorithm: 1, Mean: 1.0, StdErr: 0.01},
+		{Algorithm: 2, Mean: 2.0, StdErr: 0.01},
+		{Algorithm: 3, Mean: 3.0, StdErr: 0.01},
+	}
+	if c := GapConfidence(settled); c < 0.99 {
+		t.Fatalf("settled gap confidence %g", c)
+	}
+	coinFlip := []AlgPosterior{
+		{Algorithm: 1, Mean: 1.0, StdErr: 0.5},
+		{Algorithm: 2, Mean: 1.001, StdErr: 0.5},
+	}
+	if c := GapConfidence(coinFlip); math.Abs(c-0.5) > 0.01 {
+		t.Fatalf("coin-flip gap confidence %g", c)
+	}
+	if c := GapConfidence(settled[:1]); c != 1 {
+		t.Fatalf("singleton gap confidence %g", c)
+	}
+}
+
+func TestSampleBestExploresWidePosterior(t *testing.T) {
+	// Thompson property: a slightly-slower algorithm with a wide
+	// posterior is sampled sometimes; a settled loser essentially never.
+	post := []AlgPosterior{
+		{Algorithm: 1, Mean: 1.0, StdErr: 0.01}, // settled favourite
+		{Algorithm: 2, Mean: 1.1, StdErr: 0.5},  // uncertain challenger
+		{Algorithm: 3, Mean: 5.0, StdErr: 0.01}, // settled loser
+	}
+	rng := xrand.New(3)
+	counts := [3]int{}
+	for i := 0; i < 2000; i++ {
+		counts[SampleBest(post, rng)]++
+	}
+	if counts[1] == 0 {
+		t.Fatal("uncertain challenger never explored")
+	}
+	if counts[0] < counts[1] {
+		t.Fatalf("favourite sampled less than challenger: %v", counts)
+	}
+	if counts[2] != 0 {
+		t.Fatalf("settled loser explored %d times", counts[2])
+	}
+}
+
+func TestFlopsPredictorOrdersLikeMinFlops(t *testing.T) {
+	algs := stubAlgs(3)
+	var p FlopsPredictor
+	post := make([]AlgPosterior, len(algs))
+	for i := range algs {
+		post[i] = AlgPosterior{Algorithm: algs[i].Index, Mean: p.PredictAlgorithm(&algs[i])}
+	}
+	if BestIndex(post) != (MinFlops{}).Choose(algs) {
+		t.Fatal("FlopsPredictor posterior disagrees with MinFlops")
+	}
+}
